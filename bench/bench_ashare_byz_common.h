@@ -1,0 +1,112 @@
+// Shared harness for Figures 10 and 11: AShare read latency under
+// replica-corrupting Byzantine nodes, as a function of replica count.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/ashare/ashare.h"
+#include "common/stats.h"
+
+namespace atum::ashare_bench {
+
+inline void run_byzantine_read_bench(const char* figure, std::size_t nodes,
+                                     std::size_t byzantine, std::size_t files_per_point,
+                                     std::size_t chunk_bytes, std::uint64_t seed) {
+  using namespace atum::ashare;
+
+  core::Params p;
+  p.hc = 3;
+  p.rwl = 5;
+  p.gmax = 10;
+  p.gmin = 5;
+  p.round_duration = millis(100);
+  p.heartbeat_period = seconds(300);
+
+  auto net_cfg = net::NetworkConfig::datacenter();
+  net_cfg.egress_bytes_per_sec = 6e6;
+  net_cfg.ingress_bytes_per_sec = 12e6;
+
+  core::AtumSystem sys(p, net_cfg, seed);
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < nodes; ++i) {
+    ids.push_back(i);
+    sys.add_node(i);
+  }
+  sys.deploy(ids);
+
+  std::vector<std::unique_ptr<AShareNode>> share;
+  for (NodeId i = 0; i < nodes; ++i) {
+    share.push_back(std::make_unique<AShareNode>(sys, i, 8, nodes));
+    share.back()->set_auto_replication(false);
+  }
+  // The first `byzantine` non-owner nodes corrupt everything they store.
+  for (std::size_t b = 1; b <= byzantine; ++b) share[b]->set_corrupt_replicas(true);
+
+  auto settle = [&](DurationMicros d) {
+    sys.simulator().run_until(sys.simulator().now() + d);
+  };
+
+  const std::size_t chunks = 10;
+  const double mb = static_cast<double>(chunks * chunk_bytes) / 1e6;
+  Rng rng(seed ^ 0x99);
+
+  std::printf("=== %s: AShare read latency vs replica count (%zu nodes, %zu Byzantine, "
+              "%zu files/point, 10 x %zuKB chunks) ===\n\n",
+              figure, nodes, byzantine, files_per_point, chunk_bytes / 1024);
+  std::printf("%-10s %-22s %-22s\n", "replicas", "all correct (s/MB)", "1-6 faulty (s/MB)");
+
+  int file_no = 0;
+  for (std::size_t replicas : {8u, 10u, 12u, 14u, 16u, 18u, 20u}) {
+    Samples correct_lat, faulty_lat;
+    for (int scenario = 0; scenario < 2; ++scenario) {
+      bool with_faults = scenario == 1;
+      for (std::size_t f = 0; f < files_per_point; ++f) {
+        NodeId owner = byzantine + 1 + (rng.next_u64() % (nodes - byzantine - 1));
+        std::string name = "file-" + std::to_string(file_no++);
+        Bytes content(chunks * chunk_bytes);
+        for (std::size_t i = 0; i < content.size(); i += 4096) {
+          content[i] = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        share[owner]->put(name, content, chunks);
+        settle(seconds(8));
+
+        // Pin replicas-1 extra holders: faulty scenario mixes in up to 6
+        // Byzantine holders, correct scenario uses none.
+        std::size_t byz_holders = with_faults ? std::min<std::size_t>(6, byzantine) : 0;
+        std::size_t placed = 0;
+        for (std::size_t b = 1; b <= byz_holders && placed + 1 < replicas; ++b, ++placed) {
+          share[b]->force_replicate(FileKey{owner, name});
+          settle(seconds(8));
+        }
+        for (NodeId h = static_cast<NodeId>(byzantine + 1);
+             placed + 1 < replicas && h < nodes; ++h) {
+          if (h == owner) continue;
+          share[h]->force_replicate(FileKey{owner, name});
+          settle(seconds(8));
+          ++placed;
+        }
+
+        // A correct reader measures the GET.
+        NodeId reader = owner;
+        while (reader == owner) {
+          reader = byzantine + 1 + (rng.next_u64() % (nodes - byzantine - 1));
+        }
+        GetStats stats;
+        share[reader]->get(FileKey{owner, name}, [&](Bytes, const GetStats& s) { stats = s; });
+        settle(seconds(60));
+        if (stats.ok) {
+          (with_faults ? faulty_lat : correct_lat).add(to_seconds(stats.elapsed) / mb);
+        }
+      }
+    }
+    std::printf("%-10zu %-22.3f %-22.3f\n", replicas,
+                correct_lat.empty() ? -1.0 : correct_lat.mean(),
+                faulty_lat.empty() ? -1.0 : faulty_lat.mean());
+  }
+  std::printf("\n(faulty replicas force re-pulls; the penalty shrinks once replicas ~ chunk"
+              " count)\n");
+}
+
+}  // namespace atum::ashare_bench

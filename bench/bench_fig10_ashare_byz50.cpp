@@ -1,0 +1,15 @@
+// Figure 10: impact of Byzantine nodes on AShare read latency — 50 nodes,
+// 7 Byzantine (corrupting every replica they store), rho=8, files of 10
+// chunks; read latency per MB as a function of the file's replica count.
+//
+// Paper shape: with faulty replicas, moderately-replicated files (8-9
+// replicas) pay up to ~3x (corrupt chunks are re-pulled); the penalty
+// shrinks as replicas approach/exceed the chunk count.
+#include "bench_ashare_byz_common.h"
+
+int main() {
+  atum::ashare_bench::run_byzantine_read_bench(
+      "Figure 10", /*nodes=*/50, /*byzantine=*/7, /*files_per_point=*/8,
+      /*chunk_bytes=*/128 * 1024, /*seed=*/0xF16'10ULL);
+  return 0;
+}

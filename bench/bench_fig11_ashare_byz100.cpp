@@ -1,0 +1,10 @@
+// Figure 11: as Figure 10 but at 100 nodes with more files — the same
+// resilience shape at doubled scale.
+#include "bench_ashare_byz_common.h"
+
+int main() {
+  atum::ashare_bench::run_byzantine_read_bench(
+      "Figure 11", /*nodes=*/100, /*byzantine=*/7, /*files_per_point=*/8,
+      /*chunk_bytes=*/128 * 1024, /*seed=*/0xF16'11ULL);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4: configuration guideline — for each number of vgroups and each
+// H-graph cycle count hc, the minimal random-walk length rwl whose endpoint
+// distribution is indistinguishable from uniform (Pearson chi-square,
+// confidence 0.99), exactly the simulation §3.2 describes.
+//
+// Paper shape: rwl grows with the number of vgroups and shrinks as hc
+// increases (denser overlay mixes faster); e.g. 128 vgroups, hc=6 -> rwl~9.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/params.h"
+#include "overlay/random_walk.h"
+
+using namespace atum;
+
+int main() {
+  std::printf("=== Figure 4: optimal rwl vs hc (chi-square uniformity at 0.99) ===\n\n");
+  const std::vector<std::size_t> group_counts{8, 32, 128, 512, 2048, 8192};
+  const std::vector<std::size_t> cycle_counts{2, 4, 6, 8, 10, 12};
+
+  std::printf("%-10s", "vgroups");
+  for (std::size_t hc : cycle_counts) std::printf(" hc=%-4zu", hc);
+  std::printf(" | guideline_rwl(hc=6)\n");
+
+  Rng rng(0xF16'4ULL);
+  for (std::size_t groups : group_counts) {
+    std::printf("%-10zu", groups);
+    // Enough walks for the chi-square expected count per bin to be sound.
+    std::size_t walks = std::max<std::size_t>(20'000, groups * 10);
+    for (std::size_t hc : cycle_counts) {
+      std::size_t rwl = overlay::optimal_walk_length(groups, hc, 0.99, walks, 18, rng);
+      std::printf(" %-7zu", rwl);
+    }
+    std::printf(" | %zu\n", core::guideline_rwl(groups, 6));
+  }
+  std::printf("\n(rows: more vgroups need longer walks; columns: more cycles need shorter"
+              " walks)\n");
+  return 0;
+}

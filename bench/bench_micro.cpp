@@ -1,0 +1,95 @@
+// Microbenchmarks for the substrates (google-benchmark): crypto, wire
+// serialization, the event queue, H-graph maintenance, and walk stepping.
+#include <benchmark/benchmark.h>
+
+#include "common/binomial.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "overlay/hgraph.h"
+#include "overlay/random_walk.h"
+#include "sim/simulator.h"
+
+using namespace atum;
+
+static void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+static void BM_HmacSign(benchmark::State& state) {
+  crypto::KeyStore ks(1);
+  const crypto::SigningKey& key = ks.key_of(7);
+  Bytes msg(256, 0x11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(msg));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+static void BM_SerdeRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    ByteWriter w;
+    for (int i = 0; i < 16; ++i) {
+      w.u64(static_cast<std::uint64_t>(i));
+      w.varint(static_cast<std::uint64_t>(i * 1000));
+    }
+    ByteReader r(w.data());
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 16; ++i) {
+      sum += r.u64();
+      sum += r.varint();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SerdeRoundTrip);
+
+static void BM_SimulatorThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+static void BM_HGraphInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(1);
+    overlay::HGraph g(5);
+    for (GroupId v = 0; v < 256; ++v) {
+      if (v == 0) {
+        g.add_first(v);
+      } else {
+        g.insert_random(v, rng);
+      }
+    }
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_HGraphInsert);
+
+static void BM_WalkEndpoints(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        overlay::simulate_walk_endpoints(128, 5, 10, 10'000, rng));
+  }
+}
+BENCHMARK(BM_WalkEndpoints);
+
+static void BM_BinomialTail(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binomial_tail_geq(56, 28, 0.06));
+  }
+}
+BENCHMARK(BM_BinomialTail);

@@ -1,0 +1,34 @@
+// Table 1: system parameters — prints the parameter space, the defaults,
+// and the recommended configurations for a range of system sizes.
+#include <cstdio>
+
+#include "core/params.h"
+
+using namespace atum;
+using namespace atum::core;
+
+int main() {
+  std::printf("=== Table 1: Atum system parameters ===\n\n");
+  std::printf("%-8s %-42s %s\n", "Param", "Description", "Typical values");
+  std::printf("%-8s %-42s %s\n", "hc", "Number of H-graph cycles", "2, ..., 12");
+  std::printf("%-8s %-42s %s\n", "rwl", "Length of random walks", "4, ..., 15");
+  std::printf("%-8s %-42s %s\n", "gmax", "Maximum vgroup size", "8, 14, 20, ...");
+  std::printf("%-8s %-42s %s\n", "gmin", "Minimum vgroup size", "0.5 * gmax");
+  std::printf("%-8s %-42s %s\n", "k", "Robustness parameter", "3, ..., 7");
+
+  std::printf("\nDefaults: %s\n", to_string(Params{}).c_str());
+
+  std::printf("\nRecommended configurations (guideline of Fig. 4 + g = k*log2 N):\n");
+  std::printf("%-10s %-8s %-6s %-6s %-6s %-6s\n", "N", "engine", "hc", "rwl", "gmin", "gmax");
+  for (std::size_t n : {100u, 400u, 800u, 1400u, 5000u, 20000u}) {
+    for (auto kind : {smr::EngineKind::kSync, smr::EngineKind::kAsync}) {
+      Params p = Params::recommended(n, kind);
+      std::printf("%-10zu %-8s %-6zu %-6zu %-6zu %-6zu\n", n,
+                  kind == smr::EngineKind::kSync ? "sync" : "async", p.hc, p.rwl, p.gmin,
+                  p.gmax);
+    }
+  }
+  std::printf("\ntarget vgroup size g = k*log2(N), k=4: N=1000 -> %zu, N=10000 -> %zu\n",
+              target_group_size(1000), target_group_size(10000));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// AStream example: live streaming to 24 nodes (§4.3).
+//
+// Tier 1 (Atum) reliably broadcasts per-chunk digests; tier 2 streams the
+// data over a spanning forest with f+1 parents per node. One interior node
+// serves corrupted chunks: its children detect the digest mismatch and
+// fail over to another parent, so every correct node still plays the
+// stream.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apps/astream/astream.h"
+
+using namespace atum;
+using namespace atum::astream;
+
+int main() {
+  core::Params params;
+  params.hc = 3;
+  params.rwl = 4;
+  params.gmax = 8;
+  params.gmin = 4;
+  params.round_duration = millis(100);
+  params.heartbeat_period = seconds(60);
+
+  core::AtumSystem system(params, net::NetworkConfig::datacenter(), 4242);
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; i < 24; ++i) {
+    ids.push_back(i);
+    system.add_node(i);
+  }
+  system.deploy(ids);
+
+  std::map<NodeId, std::uint64_t> chunks_played;
+  std::vector<std::unique_ptr<AStreamNode>> stream;
+  for (NodeId i = 0; i < 24; ++i) {
+    stream.push_back(std::make_unique<AStreamNode>(system, i, StreamConfig{}));
+    stream.back()->set_chunk_handler([&chunks_played, i](std::uint64_t seq, const Bytes&) {
+      chunks_played[i] = seq;
+    });
+  }
+
+  // Build the forest rooted at node 0.
+  for (auto& node : stream) node->join_stream(0);
+  system.simulator().run_until(system.simulator().now() + seconds(5));
+
+  std::printf("forest built: source has %zu direct children\n", stream[0]->child_count());
+  std::printf("parents of node 13:");
+  for (NodeId p : stream[13]->parents()) {
+    std::printf(" %llu", static_cast<unsigned long long>(p));
+  }
+  std::printf("\n");
+
+  // Sabotage: an interior node starts serving corrupted chunks.
+  for (auto& node : stream) {
+    if (node->id() != 0 && node->child_count() > 0) {
+      std::printf("node %llu (with %zu children) now serves CORRUPTED chunks\n",
+                  static_cast<unsigned long long>(node->id()), node->child_count());
+      node->set_corrupt_chunks(true);
+      break;
+    }
+  }
+
+  // Stream ten 20 KB chunks (demo-sized: the data plane shares each node's
+  // NIC with the SMR rounds; §5.1 discusses exactly this interference).
+  std::printf("\nstreaming 10 chunks...\n");
+  for (int c = 0; c < 10; ++c) {
+    stream[0]->stream_chunk(Bytes(20'000, static_cast<std::uint8_t>(c)));
+    system.simulator().run_until(system.simulator().now() + millis(100));
+  }
+  system.simulator().run_until(system.simulator().now() + seconds(120));
+
+  std::size_t complete = 0;
+  for (auto& [node, last] : chunks_played) complete += (last == 10);
+  std::printf("nodes that played the full stream: %zu / 24\n", complete);
+  std::printf("(children of the corrupt node verified digests from tier 1 and failed over"
+              "\n to their other parents)\n");
+  return 0;
+}

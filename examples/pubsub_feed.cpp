@@ -1,0 +1,80 @@
+// ASub example: a multi-topic news feed (§4.1).
+//
+// Creates two topics, subscribes different reader sets, publishes events
+// from several producers, and unsubscribes a reader — the pub/sub facade
+// over Atum's group communication.
+#include <cstdio>
+#include <string>
+
+#include "apps/asub/asub.h"
+
+using namespace atum;
+using namespace atum::asub;
+
+namespace {
+
+core::Params demo_params() {
+  core::Params p;
+  p.hc = 3;
+  p.rwl = 4;
+  p.gmax = 8;
+  p.gmin = 4;
+  p.round_duration = millis(50);
+  p.heartbeat_period = seconds(10);
+  return p;
+}
+
+void attach_printer(Topic& topic, NodeId subscriber) {
+  topic.set_event_handler(subscriber, [name = topic.name(), subscriber](NodeId publisher,
+                                                                        const Bytes& event) {
+    std::printf("  [%s] subscriber %llu got \"%s\" (from %llu)\n", name.c_str(),
+                static_cast<unsigned long long>(subscriber),
+                std::string(event.begin(), event.end()).c_str(),
+                static_cast<unsigned long long>(publisher));
+  });
+}
+
+Bytes ev(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+int main() {
+  ASubService service(demo_params(), net::NetworkConfig::datacenter(), 77);
+
+  // create_topic == bootstrap
+  Topic& sports = service.create_topic("sports", /*creator=*/1);
+  Topic& science = service.create_topic("science", /*creator=*/1);
+  attach_printer(sports, 1);
+  attach_printer(science, 1);
+  std::printf("topics created: sports, science\n");
+
+  // subscribe == join
+  for (NodeId reader : {2u, 3u, 4u}) {
+    attach_printer(sports, reader);
+    sports.subscribe(reader);
+    sports.settle(seconds(40));
+  }
+  for (NodeId reader : {3u, 5u}) {
+    attach_printer(science, reader);
+    science.subscribe(reader);
+    science.settle(seconds(40));
+  }
+  std::printf("subscriptions done (sports: 1-4, science: 1,3,5)\n\n");
+
+  // publish == broadcast
+  sports.publish(2, ev("home team wins 3-1"));
+  sports.settle(seconds(15));
+  science.publish(5, ev("volatile groups considered useful"));
+  science.settle(seconds(15));
+
+  // unsubscribe == leave
+  sports.unsubscribe(3);
+  sports.settle(seconds(20));
+  std::printf("\nsubscriber 3 left sports; publishing again:\n");
+  sports.publish(1, ev("transfer window opens"));
+  sports.settle(seconds(15));
+
+  std::printf("\n(subscriber 3 received nothing after unsubscribing — topic isolation and"
+              "\n membership both handled by the underlying GCS)\n");
+  return 0;
+}

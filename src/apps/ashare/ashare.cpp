@@ -1,0 +1,330 @@
+#include "apps/ashare/ashare.h"
+
+#include <algorithm>
+
+namespace atum::ashare {
+
+namespace {
+
+// Broadcast payload tags.
+constexpr std::uint8_t kMsgPut = 1;
+constexpr std::uint8_t kMsgDelete = 2;
+constexpr std::uint8_t kMsgReplica = 3;  // Figure 5: "x now stores f"
+
+// Chunk transfer wire tags.
+constexpr std::uint8_t kChunkOk = 1;
+constexpr std::uint8_t kChunkMissing = 2;
+
+void write_key(ByteWriter& w, const FileKey& key) {
+  w.u64(key.owner);
+  w.str(key.name);
+}
+
+FileKey read_key(ByteReader& r) {
+  FileKey key;
+  key.owner = r.u64();
+  key.name = r.str();
+  return key;
+}
+
+}  // namespace
+
+AShareNode::AShareNode(core::AtumSystem& system, NodeId id, std::size_t rho,
+                       std::size_t n_estimate)
+    : sys_(system),
+      id_(id),
+      atum_(system.node(id)),
+      transport_(system.network(), id),
+      rng_(system.rng().next_u64() ^ (id * 31)),
+      rho_(std::max<std::size_t>(rho, 1)),
+      n_estimate_(std::max<std::size_t>(n_estimate, 1)) {
+  atum_.set_deliver([this](NodeId origin, const Bytes& payload) { on_deliver(origin, payload); });
+  transport_.listen({net::MsgType::kChunkRequest, net::MsgType::kChunkReply},
+                    [this](const net::Message& m) { on_transfer_message(m); });
+  replication_timer_ = std::make_unique<sim::PeriodicTimer>(
+      sys_.simulator(), seconds(10.0), [this] {
+        if (!auto_replication_) return;
+        for (const auto& [key, meta] : index_.all()) {
+          if (meta.holders.size() < rho_) replication_round(key);
+        }
+      });
+}
+
+AShareNode::~AShareNode() { transport_.close(); }
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+void AShareNode::put(const std::string& name, Bytes content, std::size_t chunk_count) {
+  chunk_count = std::clamp<std::size_t>(chunk_count, 1, std::max<std::size_t>(content.size(), 1));
+  FileKey key{id_, name};
+  std::uint64_t chunk_size =
+      (content.size() + chunk_count - 1) / chunk_count;  // last chunk may be short
+  if (chunk_size == 0) chunk_size = 1;
+
+  FileMeta meta;
+  meta.key = key;
+  meta.size = content.size();
+  meta.chunk_size = chunk_size;
+  std::vector<Bytes> pieces;
+  for (std::size_t off = 0; off < content.size(); off += chunk_size) {
+    std::size_t len = std::min<std::size_t>(chunk_size, content.size() - off);
+    Bytes piece(content.begin() + static_cast<long>(off),
+                content.begin() + static_cast<long>(off + len));
+    meta.chunk_digests.push_back(crypto::sha256(piece));
+    pieces.push_back(std::move(piece));
+  }
+  if (pieces.empty()) {  // empty file: one empty chunk
+    meta.chunk_digests.push_back(crypto::sha256(Bytes{}));
+    pieces.push_back({});
+  }
+  chunks_[key] = std::move(pieces);
+
+  // §4.2.2: the owner broadcasts (u, f, d); everyone updates their index.
+  ByteWriter w;
+  w.u8(kMsgPut);
+  write_key(w, key);
+  w.u64(meta.size);
+  w.u64(meta.chunk_size);
+  w.varint(meta.chunk_digests.size());
+  for (const auto& d : meta.chunk_digests) w.raw(d.data(), d.size());
+  atum_.broadcast(w.take());
+
+  index_.put(meta, id_);  // local effect is immediate
+}
+
+void AShareNode::del(const std::string& name) {
+  FileKey key{id_, name};
+  ByteWriter w;
+  w.u8(kMsgDelete);
+  write_key(w, key);
+  atum_.broadcast(w.take());
+  index_.remove(key, id_);
+  chunks_.erase(key);
+}
+
+void AShareNode::get(const FileKey& key, GetFn done) {
+  start_get(key, std::move(done), false);
+}
+
+void AShareNode::force_replicate(const FileKey& key, GetFn done) {
+  start_get(key, std::move(done), true);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast delivery: index maintenance + replication loop
+// ---------------------------------------------------------------------------
+
+void AShareNode::on_deliver(NodeId origin, const Bytes& payload) {
+  try {
+    ByteReader r(payload);
+    std::uint8_t tag = r.u8();
+    switch (tag) {
+      case kMsgPut: {
+        FileMeta meta;
+        meta.key = read_key(r);
+        meta.size = r.u64();
+        meta.chunk_size = r.u64();
+        std::uint64_t n = r.varint();
+        if (n > (1u << 20)) return;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          crypto::Digest d;
+          r.raw(d.data(), d.size());
+          meta.chunk_digests.push_back(d);
+        }
+        if (!index_.put(meta, origin)) return;  // cross-namespace write
+        if (auto_replication_) replication_round(meta.key);
+        break;
+      }
+      case kMsgDelete: {
+        FileKey key = read_key(r);
+        if (index_.remove(key, origin)) {
+          chunks_.erase(key);
+        }
+        break;
+      }
+      case kMsgReplica: {
+        FileKey key = read_key(r);
+        // Figure 5 feedback: record the new holder, then re-run the
+        // randomized replication if the file is still under-replicated.
+        index_.add_holder(key, origin);
+        if (auto_replication_) replication_round(key);
+        break;
+      }
+      default:
+        break;
+    }
+  } catch (const SerdeError&) {
+    // Malformed broadcast from a faulty node.
+  }
+}
+
+void AShareNode::replication_round(const FileKey& key) {
+  auto meta = index_.lookup(key);
+  if (!meta || chunks_.contains(key)) return;
+  std::size_t c = meta->holders.size();
+  if (c >= rho_) return;  // loop deactivates at rho replicas
+  double p = static_cast<double>(rho_ - c) / static_cast<double>(n_estimate_);
+  if (!rng_.chance(p)) return;
+  // Nominate ourselves: replicate via a normal GET, then announce.
+  force_replicate(key);
+}
+
+// ---------------------------------------------------------------------------
+// GET: parallel chunked pull with integrity checks
+// ---------------------------------------------------------------------------
+
+void AShareNode::start_get(const FileKey& key, GetFn done, bool announce) {
+  auto meta = index_.lookup(key);
+  if (!meta || meta->holders.empty()) {
+    if (done) done({}, GetStats{});
+    return;
+  }
+  std::uint64_t tid = next_transfer_++;
+  Transfer& t = transfers_[tid];
+  t.meta = *meta;
+  t.pieces.assign(meta->chunk_count(), std::nullopt);
+  t.holders.assign(meta->holders.begin(), meta->holders.end());
+  std::erase(t.holders, id_);
+  rng_.shuffle(t.holders);
+  t.started = sys_.simulator().now();
+  t.stats.chunks_total = meta->chunk_count();
+  t.done = std::move(done);
+  t.announce_replica = announce;
+  t.transfer_id = tid;
+
+  if (t.holders.empty()) {
+    // Only we hold it (or we are the owner): nothing to transfer.
+    transfers_.erase(tid);
+    return;
+  }
+  t.stats.holders_used = t.holders.size();
+  // §4.2.2 benefit (1): chunks pull in parallel from all holders.
+  for (std::size_t c = 0; c < t.pieces.size(); ++c) request_chunk(tid, c);
+}
+
+NodeId AShareNode::pick_holder(Transfer& t, std::size_t chunk) {
+  // Round-robin start offset spreads chunks over holders; retries move on
+  // to the next holder (the §4.2.2 re-pull rule).
+  std::size_t attempt = t.attempts[chunk]++;
+  return t.holders[(chunk + attempt) % t.holders.size()];
+}
+
+void AShareNode::request_chunk(std::uint64_t tid, std::size_t chunk) {
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (t.attempts[chunk] > 4 * t.holders.size()) {
+    // Give up: deliver failure.
+    GetStats stats = t.stats;
+    stats.ok = false;
+    stats.elapsed = sys_.simulator().now() - t.started;
+    GetFn done = std::move(t.done);
+    transfers_.erase(tid);
+    if (done) done({}, stats);
+    return;
+  }
+  NodeId holder = pick_holder(t, chunk);
+  ByteWriter w;
+  w.u64(tid);
+  write_key(w, t.meta.key);
+  w.varint(chunk);
+  transport_.send(holder, net::MsgType::kChunkRequest, w.take());
+}
+
+Bytes AShareNode::chunk_data(const FileKey& key, std::size_t idx) const {
+  auto it = chunks_.find(key);
+  if (it == chunks_.end() || idx >= it->second.size()) return {};
+  Bytes data = it->second[idx];
+  if (corrupt_replicas_ && !data.empty()) {
+    data[0] ^= 0xFF;  // rot the replica (§6.2 Byzantine scenario)
+  }
+  return data;
+}
+
+void AShareNode::on_transfer_message(const net::Message& msg) {
+  try {
+    if (msg.type == net::MsgType::kChunkRequest) {
+      ByteReader r(msg.payload);
+      std::uint64_t tid = r.u64();
+      FileKey key = read_key(r);
+      std::size_t chunk = static_cast<std::size_t>(r.varint());
+
+      ByteWriter w;
+      w.u64(tid);
+      write_key(w, key);
+      w.varint(chunk);
+      if (chunks_.contains(key) && chunk < chunks_[key].size()) {
+        w.u8(kChunkOk);
+        w.bytes(chunk_data(key, chunk));
+      } else {
+        w.u8(kChunkMissing);
+      }
+      transport_.send(msg.from, net::MsgType::kChunkReply, w.take());
+      return;
+    }
+
+    // Chunk reply.
+    ByteReader r(msg.payload);
+    std::uint64_t tid = r.u64();
+    FileKey key = read_key(r);
+    std::size_t chunk = static_cast<std::size_t>(r.varint());
+    std::uint8_t status = r.u8();
+
+    auto it = transfers_.find(tid);
+    if (it == transfers_.end() || !(it->second.meta.key == key)) return;
+    Transfer& t = it->second;
+    if (chunk >= t.pieces.size() || t.pieces[chunk].has_value()) return;
+
+    bool valid = false;
+    Bytes data;
+    if (status == kChunkOk) {
+      data = r.bytes();
+      // §4.2.2 integrity check: the chunk must hash to the owner's digest.
+      valid = crypto::sha256(data) == t.meta.chunk_digests[chunk];
+    }
+    if (!valid) {
+      if (status == kChunkOk) ++t.stats.corrupt_chunks;
+      request_chunk(tid, chunk);  // re-pull from another holder
+      return;
+    }
+    t.pieces[chunk] = std::move(data);
+    bool complete = std::all_of(t.pieces.begin(), t.pieces.end(),
+                                [](const auto& p) { return p.has_value(); });
+    if (complete) finish_transfer(tid);
+  } catch (const SerdeError&) {
+    // Garbage from a faulty peer.
+  }
+}
+
+void AShareNode::finish_transfer(std::uint64_t tid) {
+  auto it = transfers_.find(tid);
+  if (it == transfers_.end()) return;
+  Transfer t = std::move(it->second);
+  transfers_.erase(it);
+
+  Bytes content;
+  content.reserve(t.meta.size);
+  std::vector<Bytes> pieces;
+  for (auto& p : t.pieces) {
+    content.insert(content.end(), p->begin(), p->end());
+    pieces.push_back(std::move(*p));
+  }
+  t.stats.ok = true;
+  t.stats.elapsed = sys_.simulator().now() - t.started;
+
+  if (t.announce_replica) {
+    // We are now a holder: store the replica and run the Figure 5 loop by
+    // announcing it system-wide.
+    chunks_[t.meta.key] = std::move(pieces);
+    index_.add_holder(t.meta.key, id_);
+    ByteWriter w;
+    w.u8(kMsgReplica);
+    write_key(w, t.meta.key);
+    atum_.broadcast(w.take());
+  }
+  if (t.done) t.done(std::move(content), t.stats);
+}
+
+}  // namespace atum::ashare

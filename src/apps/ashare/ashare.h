@@ -1,0 +1,118 @@
+// AShare: file sharing on Atum (§4.2).
+//
+// Atum provides the messaging and membership layer; AShare adds:
+//  * the fully replicated metadata index (soft state, §4.2 footnote 5),
+//  * PUT / GET / DELETE / SEARCH with per-owner flat namespaces,
+//  * randomized replication with the Figure 5 feedback loop — every node
+//    replicates under-replicated files with probability (rho - c)/n until
+//    rho replicas exist,
+//  * integrity checks: files transfer in chunks, each verified against the
+//    owner's SHA-256 digest; corrupt chunks are re-pulled from another
+//    holder (§4.2.2),
+//  * parallel chunked pull from all replica holders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "apps/ashare/metadata_index.h"
+#include "core/atum.h"
+
+namespace atum::ashare {
+
+struct GetStats {
+  bool ok = false;
+  DurationMicros elapsed = 0;
+  std::size_t chunks_total = 0;
+  std::size_t corrupt_chunks = 0;   // integrity-check failures re-pulled
+  std::size_t holders_used = 0;
+};
+
+class AShareNode {
+ public:
+  using GetFn = std::function<void(Bytes content, const GetStats& stats)>;
+
+  // rho: the replication target (§4.2.2); n_estimate: the system size used
+  // by the randomized replication probability (rho - c) / n.
+  AShareNode(core::AtumSystem& system, NodeId id, std::size_t rho, std::size_t n_estimate);
+  ~AShareNode();
+  AShareNode(const AShareNode&) = delete;
+  AShareNode& operator=(const AShareNode&) = delete;
+
+  NodeId id() const { return id_; }
+  core::AtumNode& atum() { return atum_; }
+
+  // Byzantine behavior for the §6.2 experiments: corrupts every chunk this
+  // node serves (its stored replicas are rotten).
+  void set_corrupt_replicas(bool corrupt) { corrupt_replicas_ = corrupt; }
+
+  // ----- §4.2.1 interface -----
+  // <PUT, u, f, c, d>: owner-only; content is chunked, digests broadcast.
+  void put(const std::string& name, Bytes content, std::size_t chunk_count);
+  // <DELETE, u, f>: owner-only; every node drops metadata and replicas.
+  void del(const std::string& name);
+  // <GET, u', f'>: parallel chunked pull from all holders with integrity
+  // checks; completion via callback.
+  void get(const FileKey& key, GetFn done);
+  // <SEARCH, e>: local query on the replicated index.
+  std::vector<FileMeta> search(const std::string& term) const { return index_.search(term); }
+
+  const MetadataIndex& index() const { return index_; }
+  bool has_replica(const FileKey& key) const { return chunks_.contains(key); }
+
+  // Pins a replica onto this node without the randomized path (benchmarks
+  // deterministically constructing Fig 10/11 replica counts).
+  void force_replicate(const FileKey& key, GetFn done = nullptr);
+
+  // Disables the probabilistic background replication (Fig 9 measures bare
+  // transfer latency).
+  void set_auto_replication(bool on) { auto_replication_ = on; }
+
+ private:
+  struct Transfer {
+    FileMeta meta;
+    std::vector<std::optional<Bytes>> pieces;
+    std::vector<NodeId> holders;          // pull order
+    std::size_t next_holder = 0;
+    std::map<std::size_t, std::size_t> attempts;  // chunk -> tries
+    TimeMicros started = 0;
+    GetStats stats;
+    GetFn done;
+    bool announce_replica = false;        // replication GET vs user GET
+    std::uint64_t transfer_id = 0;
+  };
+
+  void on_deliver(NodeId origin, const Bytes& payload);
+  void on_transfer_message(const net::Message& msg);
+  void replication_round(const FileKey& key);
+  void start_get(const FileKey& key, GetFn done, bool announce);
+  void request_chunk(std::uint64_t tid, std::size_t chunk);
+  void finish_transfer(std::uint64_t tid);
+  NodeId pick_holder(Transfer& t, std::size_t chunk);
+  Bytes chunk_data(const FileKey& key, std::size_t idx) const;
+
+  core::AtumSystem& sys_;
+  NodeId id_;
+  core::AtumNode& atum_;
+  net::Transport transport_;
+  Rng rng_;
+  std::size_t rho_;
+  std::size_t n_estimate_;
+  bool corrupt_replicas_ = false;
+  bool auto_replication_ = true;
+  // Figure 5's "with certainty": periodically re-run the randomized
+  // replication for files still below rho, so a round in which no node
+  // nominated itself cannot stall the loop.
+  std::unique_ptr<sim::PeriodicTimer> replication_timer_;
+
+  MetadataIndex index_;
+  std::map<FileKey, std::vector<Bytes>> chunks_;  // full local replicas
+  std::map<std::uint64_t, Transfer> transfers_;
+  std::uint64_t next_transfer_ = 1;
+};
+
+}  // namespace atum::ashare

@@ -1,0 +1,52 @@
+#include "apps/ashare/metadata_index.h"
+
+namespace atum::ashare {
+
+bool MetadataIndex::put(const FileMeta& meta, NodeId writer) {
+  if (writer != meta.key.owner) return false;  // foreign namespaces are read-only
+  FileMeta copy = meta;
+  copy.holders.insert(meta.key.owner);  // the owner always holds a replica
+  files_[meta.key] = std::move(copy);
+  return true;
+}
+
+bool MetadataIndex::remove(const FileKey& key, NodeId writer) {
+  if (writer != key.owner) return false;
+  return files_.erase(key) > 0;
+}
+
+void MetadataIndex::add_holder(const FileKey& key, NodeId holder) {
+  auto it = files_.find(key);
+  if (it != files_.end()) it->second.holders.insert(holder);
+}
+
+void MetadataIndex::remove_holder_everywhere(NodeId holder) {
+  for (auto& [key, meta] : files_) {
+    if (key.owner != holder) meta.holders.erase(holder);
+  }
+}
+
+std::optional<FileMeta> MetadataIndex::lookup(const FileKey& key) const {
+  auto it = files_.find(key);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t MetadataIndex::replica_count(const FileKey& key) const {
+  auto it = files_.find(key);
+  return it == files_.end() ? 0 : it->second.holders.size();
+}
+
+std::vector<FileMeta> MetadataIndex::search(const std::string& term) const {
+  std::vector<FileMeta> out;
+  for (const auto& [key, meta] : files_) {
+    bool match = key.name.find(term) != std::string::npos;
+    if (!match && !term.empty()) {
+      match = std::to_string(key.owner) == term;
+    }
+    if (match) out.push_back(meta);
+  }
+  return out;
+}
+
+}  // namespace atum::ashare

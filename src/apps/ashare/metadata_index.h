@@ -1,0 +1,67 @@
+// The AShare metadata index (§4.2): the soft-state, fully replicated map of
+// files to replica holders, sizes and chunk digests. The paper implements
+// it on SQLite; this is the equivalent in-memory ordered key-value store
+// with term search (owner/name substring), which is all AShare queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace atum::ashare {
+
+// Files live in per-owner flat namespaces: identified by (owner, name).
+struct FileKey {
+  NodeId owner = kInvalidNode;
+  std::string name;
+  friend auto operator<=>(const FileKey&, const FileKey&) = default;
+};
+
+struct FileMeta {
+  FileKey key;
+  std::uint64_t size = 0;
+  std::uint64_t chunk_size = 0;
+  std::vector<crypto::Digest> chunk_digests;  // the PUT's `d` (§4.2.1)
+  std::set<NodeId> holders;                   // nodes with a full replica
+
+  std::size_t chunk_count() const { return chunk_digests.size(); }
+  std::uint64_t chunk_bytes(std::size_t idx) const {
+    if (idx + 1 < chunk_count()) return chunk_size;
+    return size - chunk_size * (chunk_count() - 1);
+  }
+};
+
+class MetadataIndex {
+ public:
+  // PUT: inserts (or replaces) a file's metadata; the owner is its first
+  // holder. Returns false if the writer is not the namespace owner.
+  bool put(const FileMeta& meta, NodeId writer);
+
+  // DELETE: removes the entry. Owner-only.
+  bool remove(const FileKey& key, NodeId writer);
+
+  // Records that `holder` now stores a full replica.
+  void add_holder(const FileKey& key, NodeId holder);
+  void remove_holder_everywhere(NodeId holder);
+
+  std::optional<FileMeta> lookup(const FileKey& key) const;
+  std::size_t replica_count(const FileKey& key) const;
+
+  // SEARCH: all files whose name contains `term` or whose owner matches a
+  // numeric term (§4.2.1).
+  std::vector<FileMeta> search(const std::string& term) const;
+
+  std::size_t file_count() const { return files_.size(); }
+  const std::map<FileKey, FileMeta>& all() const { return files_; }
+
+ private:
+  std::map<FileKey, FileMeta> files_;
+};
+
+}  // namespace atum::ashare

@@ -1,0 +1,311 @@
+#include "apps/astream/astream.h"
+
+#include <algorithm>
+
+namespace atum::astream {
+
+namespace {
+
+// Tier-1 broadcast tag.
+constexpr std::uint8_t kMsgDigest = 0x51;
+
+// Tier-2 wire tags (kStreamPush payload).
+constexpr std::uint8_t kAdopt = 1;  // child -> parent registration
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+AStreamNode::AStreamNode(core::AtumSystem& system, NodeId id, StreamConfig config)
+    : sys_(system),
+      id_(id),
+      atum_(system.node(id)),
+      transport_(system.network(), id),
+      rng_(system.rng().next_u64() ^ (id * 77)),
+      config_(config) {
+  atum_.set_deliver([this](NodeId origin, const Bytes& payload) { on_deliver(origin, payload); });
+  transport_.listen({net::MsgType::kStreamPush, net::MsgType::kStreamPull,
+                     net::MsgType::kStreamChunk},
+                    [this](const net::Message& m) { on_stream_message(m); });
+}
+
+AStreamNode::~AStreamNode() {
+  sys_.simulator().cancel(pull_timer_);
+  transport_.close();
+}
+
+// ---------------------------------------------------------------------------
+// Forest construction (§4.3)
+// ---------------------------------------------------------------------------
+
+void AStreamNode::join_stream(NodeId source) {
+  source_ = source;
+  parents_.clear();
+  if (id_ == source) return;  // the root has no parents
+
+  const auto& vg = atum_.vgroup();
+  // Deterministic cycle + direction that every node derives identically.
+  std::size_t w = static_cast<std::size_t>(mix64(config_.stream_id) % vg.cycle_count());
+  int d = static_cast<int>(mix64(config_.stream_id ^ 0xd1d1) % 2);
+
+  // f+1 parents guarantee one correct parent when the vgroup is robust.
+  std::size_t f = sys_.params().engine == smr::EngineKind::kSync
+                      ? smr::sync_max_faults(vg.size())
+                      : smr::async_max_faults(vg.size());
+
+  const group::GroupView& tree_group =
+      d == 0 ? vg.cycle(w).predecessor : vg.cycle(w).successor;
+  // "The nodes which are neighbors with the source choose the source as
+  // their single parent": both the source's own vgroup and the vgroup
+  // adjacent to it on the chosen cycle connect directly to the root.
+  if (vg.has_member(source) || tree_group.has_member(source)) {
+    // Adjacent to the root: the source is the single parent (§4.3).
+    parents_.push_back(source);
+  } else {
+    if (tree_group.known() && !tree_group.members.empty()) {
+      std::vector<NodeId> pool = tree_group.members;
+      rng_.shuffle(pool);
+      for (std::size_t i = 0; i < pool.size() && parents_.size() < f + 1; ++i) {
+        if (pool[i] != id_) parents_.push_back(pool[i]);
+      }
+    }
+    // Shortcut parents from the other neighboring vgroups (§4.3), used when
+    // the node is far from the source along the chosen cycle.
+    for (const auto& ref : vg.neighbor_refs()) {
+      if (ref.cycle == w) continue;
+      auto view = vg.find_group(ref.group);
+      if (!view || view->members.empty()) continue;
+      NodeId pick = view->members[static_cast<std::size_t>(
+          rng_.next_below(view->members.size()))];
+      if (pick != id_ && pick != source &&
+          std::find(parents_.begin(), parents_.end(), pick) == parents_.end()) {
+        parents_.push_back(pick);
+      }
+    }
+  }
+  if (parents_.empty() && vg.size() > 1) {
+    // Degenerate single-group overlay: any peer can serve as parent.
+    for (NodeId n : vg.members()) {
+      if (n != id_ && parents_.size() < f + 1) parents_.push_back(n);
+    }
+  }
+
+  // Register with every parent so push can find us.
+  ByteWriter w2;
+  w2.u8(kAdopt);
+  w2.u64(config_.stream_id);
+  for (NodeId p : parents_) {
+    transport_.send(p, net::MsgType::kStreamPush, w2.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Source side
+// ---------------------------------------------------------------------------
+
+void AStreamNode::stream_chunk(Bytes data) {
+  std::uint64_t seq = ++source_seq_;
+  crypto::Digest d = crypto::sha256(data);
+  digests_[seq] = d;
+  verified_[seq] = std::move(data);
+  delivered_up_to_ = seq;
+  if (on_chunk_) on_chunk_(seq, verified_[seq]);  // the source delivers locally too
+
+  // Tier 1: reliable digest dissemination through Atum.
+  ByteWriter w;
+  w.u8(kMsgDigest);
+  w.u64(config_.stream_id);
+  w.u64(seq);
+  w.raw(d.data(), d.size());
+  atum_.broadcast(w.take());
+
+  // Tier 2: push the chunk down the tree; children pull what follows.
+  push_to_children(seq);
+  // Serve any pulls that raced ahead of this chunk.
+  auto it = pending_pulls_.find(seq);
+  if (it != pending_pulls_.end()) {
+    for (NodeId child : it->second) {
+      ByteWriter cw;
+      cw.u64(config_.stream_id);
+      cw.u64(seq);
+      cw.bytes(outgoing_chunk(seq));
+      transport_.send(child, net::MsgType::kStreamChunk, cw.data());
+    }
+    pending_pulls_.erase(it);
+  }
+}
+
+Bytes AStreamNode::outgoing_chunk(std::uint64_t seq) const {
+  auto it = verified_.find(seq);
+  if (it == verified_.end()) return {};
+  Bytes data = it->second;
+  if (corrupt_chunks_ && !data.empty()) data[0] ^= 0xFF;
+  return data;
+}
+
+void AStreamNode::push_to_children(std::uint64_t seq) {
+  for (NodeId child : children_) {
+    ByteWriter w;
+    w.u64(config_.stream_id);
+    w.u64(seq);
+    w.bytes(outgoing_chunk(seq));
+    transport_.send(child, net::MsgType::kStreamChunk, w.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: digests via Atum
+// ---------------------------------------------------------------------------
+
+void AStreamNode::on_deliver(NodeId, const Bytes& payload) {
+  try {
+    ByteReader r(payload);
+    if (r.u8() != kMsgDigest) return;
+    std::uint64_t stream = r.u64();
+    std::uint64_t seq = r.u64();
+    crypto::Digest d;
+    r.raw(d.data(), d.size());
+    if (stream != config_.stream_id) return;
+    digests_[seq] = d;
+    if (on_digest_) on_digest_(seq);
+    try_verify_buffered();
+    // Knowing a chunk exists lets us pull it (§4.3: a node that fails to
+    // obtain chunks after receiving the digests tries its parents).
+    pull_next();
+  } catch (const SerdeError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: push-pull data plane
+// ---------------------------------------------------------------------------
+
+void AStreamNode::on_stream_message(const net::Message& msg) {
+  try {
+    switch (msg.type) {
+      case net::MsgType::kStreamPush: {  // adoption
+        ByteReader r(msg.payload);
+        if (r.u8() != kAdopt) return;
+        if (r.u64() != config_.stream_id) return;
+        children_.insert(msg.from);
+        break;
+      }
+      case net::MsgType::kStreamPull: {
+        ByteReader r(msg.payload);
+        std::uint64_t stream = r.u64();
+        std::uint64_t seq = r.u64();
+        if (stream != config_.stream_id) return;
+        if (verified_.contains(seq)) {
+          ByteWriter w;
+          w.u64(config_.stream_id);
+          w.u64(seq);
+          w.bytes(outgoing_chunk(seq));
+          transport_.send(msg.from, net::MsgType::kStreamChunk, w.data());
+        } else {
+          pending_pulls_[seq].push_back(msg.from);  // reply once it arrives
+        }
+        break;
+      }
+      case net::MsgType::kStreamChunk: {
+        ByteReader r(msg.payload);
+        std::uint64_t stream = r.u64();
+        std::uint64_t seq = r.u64();
+        Bytes data = r.bytes();
+        if (stream != config_.stream_id) return;
+        accept_chunk(seq, std::move(data), msg.from);
+        break;
+      }
+      default:
+        break;
+    }
+  } catch (const SerdeError&) {
+  }
+}
+
+void AStreamNode::accept_chunk(std::uint64_t seq, Bytes data, NodeId from) {
+  if (verified_.contains(seq)) return;
+  unverified_[seq] = {std::move(data), from};
+  try_verify_buffered();
+}
+
+void AStreamNode::try_verify_buffered() {
+  bool progressed = false;
+  for (auto it = unverified_.begin(); it != unverified_.end();) {
+    auto dit = digests_.find(it->first);
+    if (dit == digests_.end()) {
+      ++it;
+      continue;  // digest not yet delivered by tier 1
+    }
+    auto& [data, from] = it->second;
+    if (crypto::sha256(data) != dit->second) {
+      // Corrupt chunk: the §4.3 fail-over — demote this parent and re-pull.
+      auto pit = std::find(parents_.begin(), parents_.end(), from);
+      if (pit != parents_.end() && parents_.size() > 1) {
+        preferred_parent_ = (static_cast<std::size_t>(pit - parents_.begin()) + 1)
+                            % parents_.size();
+      }
+      std::uint64_t seq = it->first;
+      it = unverified_.erase(it);
+      if (!parents_.empty()) {
+        ByteWriter w;
+        w.u64(config_.stream_id);
+        w.u64(seq);
+        transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.data());
+      }
+      continue;
+    }
+    // Verified: store, deliver in order, serve pending pulls, push chunk 1.
+    std::uint64_t seq = it->first;
+    verified_[seq] = std::move(data);
+    it = unverified_.erase(it);
+    if (seq == 1) push_to_children(1);  // push phase for the first chunk
+    auto wit = pending_pulls_.find(seq);
+    if (wit != pending_pulls_.end()) {
+      for (NodeId child : wit->second) {
+        ByteWriter w;
+        w.u64(config_.stream_id);
+        w.u64(seq);
+        w.bytes(outgoing_chunk(seq));
+        transport_.send(child, net::MsgType::kStreamChunk, w.data());
+      }
+      pending_pulls_.erase(wit);
+    }
+    progressed = true;
+  }
+  while (verified_.contains(delivered_up_to_ + 1)) {
+    ++delivered_up_to_;
+    if (on_chunk_) on_chunk_(delivered_up_to_, verified_[delivered_up_to_]);
+  }
+  if (progressed) pull_next();
+}
+
+void AStreamNode::pull_next() {
+  if (id_ == source_ || parents_.empty()) return;
+  std::uint64_t want = delivered_up_to_ + 1;
+  if (!digests_.contains(want)) return;      // nothing announced yet
+  if (verified_.contains(want) || unverified_.contains(want)) return;
+  ByteWriter w;
+  w.u64(config_.stream_id);
+  w.u64(want);
+  transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.data());
+  arm_pull_timer(want);
+}
+
+void AStreamNode::arm_pull_timer(std::uint64_t seq) {
+  sys_.simulator().cancel(pull_timer_);
+  pull_timer_ = sys_.simulator().schedule_after(config_.pull_timeout, [this, seq] {
+    if (delivered_up_to_ >= seq) return;  // arrived in time
+    // Fail over to the next parent and retry (§4.3).
+    if (!parents_.empty()) {
+      preferred_parent_ = (preferred_parent_ + 1) % parents_.size();
+    }
+    unverified_.erase(seq);
+    pull_next();
+  });
+}
+
+}  // namespace atum::astream

@@ -1,0 +1,103 @@
+// AStream: data streaming on Atum (§4.3).
+//
+// Two tiers:
+//  1. Atum reliably disseminates per-chunk SHA-256 digests (small
+//     authentication metadata). The application's `forward` callback tunes
+//     this tier: flooding for latency, one or two H-graph cycles for
+//     throughput (the Figure 12 Single/Double scenarios).
+//  2. A lightweight multicast forest carries the actual stream data:
+//     a deterministic function picks one H-graph cycle and a direction;
+//     every node adopts f+1 random parents from its neighbor vgroup in
+//     that direction (nodes neighboring the source adopt the source
+//     itself), guaranteeing at least one correct parent. Shortcut parents
+//     from the other neighbor vgroups bound the path length. Data moves
+//     push-first-chunk, then pull: each node pulls successive chunks from
+//     its first working parent and fails over on timeout or on a digest
+//     mismatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/atum.h"
+
+namespace atum::astream {
+
+struct StreamConfig {
+  std::uint64_t stream_id = 1;
+  // Pull retry deadline before failing over to the next parent.
+  DurationMicros pull_timeout = seconds(1.0);
+};
+
+class AStreamNode {
+ public:
+  // Called once per chunk, in order, after digest verification.
+  using ChunkFn = std::function<void(std::uint64_t seq, const Bytes& data)>;
+
+  AStreamNode(core::AtumSystem& system, NodeId id, StreamConfig config);
+  ~AStreamNode();
+  AStreamNode(const AStreamNode&) = delete;
+  AStreamNode& operator=(const AStreamNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Byzantine behavior (§4.3): serves corrupted chunks to its children.
+  void set_corrupt_chunks(bool corrupt) { corrupt_chunks_ = corrupt; }
+
+  // Builds this node's parent set for a stream rooted at `source` from its
+  // local overlay view, and registers with the chosen parents.
+  void join_stream(NodeId source);
+
+  // Source side: disseminate the next chunk (tier 1 digest broadcast +
+  // tier 2 push of the first chunk / serving pulls).
+  void stream_chunk(Bytes data);
+
+  void set_chunk_handler(ChunkFn fn) { on_chunk_ = std::move(fn); }
+  // Fires when a chunk's tier-1 digest arrives (instrumentation: isolates
+  // second-tier latency = verified delivery - digest arrival).
+  using DigestFn = std::function<void(std::uint64_t seq)>;
+  void set_digest_handler(DigestFn fn) { on_digest_ = std::move(fn); }
+
+  std::uint64_t chunks_delivered() const { return delivered_up_to_; }
+  const std::vector<NodeId>& parents() const { return parents_; }
+  std::size_t child_count() const { return children_.size(); }
+
+ private:
+  void on_deliver(NodeId origin, const Bytes& payload);  // tier-1 digests
+  void on_stream_message(const net::Message& msg);
+  void accept_chunk(std::uint64_t seq, Bytes data, NodeId from);
+  void try_verify_buffered();
+  void push_to_children(std::uint64_t seq);
+  void pull_next();
+  void arm_pull_timer(std::uint64_t seq);
+  Bytes outgoing_chunk(std::uint64_t seq) const;
+
+  core::AtumSystem& sys_;
+  NodeId id_;
+  core::AtumNode& atum_;
+  net::Transport transport_;
+  Rng rng_;
+  StreamConfig config_;
+  bool corrupt_chunks_ = false;
+
+  NodeId source_ = kInvalidNode;
+  std::vector<NodeId> parents_;          // f+1 from the tree vgroup + shortcuts
+  std::size_t preferred_parent_ = 0;
+  std::set<NodeId> children_;
+
+  std::map<std::uint64_t, crypto::Digest> digests_;   // tier-1 metadata
+  std::map<std::uint64_t, Bytes> verified_;           // chunk store (serves pulls)
+  std::map<std::uint64_t, std::pair<Bytes, NodeId>> unverified_;
+  std::map<std::uint64_t, std::vector<NodeId>> pending_pulls_;  // seq -> waiting children
+  std::uint64_t delivered_up_to_ = 0;    // all chunks <= this are delivered
+  std::uint64_t source_seq_ = 0;
+  sim::EventId pull_timer_ = 0;
+  ChunkFn on_chunk_;
+  DigestFn on_digest_;
+};
+
+}  // namespace atum::astream

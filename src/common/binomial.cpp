@@ -1,0 +1,55 @@
+#include "common/binomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atum {
+
+double binomial_pmf(std::uint32_t n, std::uint32_t k, double p) {
+  if (k > n) return 0.0;
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial_pmf: p out of range");
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  double log_choose = std::lgamma(static_cast<double>(n) + 1.0) -
+                      std::lgamma(static_cast<double>(k) + 1.0) -
+                      std::lgamma(static_cast<double>(n - k) + 1.0);
+  double log_pmf = log_choose + static_cast<double>(k) * std::log(p) +
+                   static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_tail_geq(std::uint32_t n, std::uint32_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the smaller side for accuracy.
+  double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) > mean) {
+    double tail = 0.0;
+    for (std::uint32_t i = n + 1; i-- > k;) tail += binomial_pmf(n, i, p);
+    return std::min(tail, 1.0);
+  }
+  double head = 0.0;
+  for (std::uint32_t i = 0; i < k; ++i) head += binomial_pmf(n, i, p);
+  return std::clamp(1.0 - head, 0.0, 1.0);
+}
+
+double vgroup_robust_probability(std::uint32_t g, std::uint32_t f, double p) {
+  return 1.0 - binomial_tail_geq(g, f + 1, p);
+}
+
+std::uint32_t sync_fault_threshold(std::uint32_t g) { return g == 0 ? 0 : (g - 1) / 2; }
+std::uint32_t async_fault_threshold(std::uint32_t g) { return g == 0 ? 0 : (g - 1) / 3; }
+
+double all_vgroups_robust_probability(double n, std::uint32_t k, double fault_rate,
+                                      bool synchronous) {
+  if (n < 2.0) return 1.0;
+  auto g = static_cast<std::uint32_t>(
+      std::max(2.0, std::round(static_cast<double>(k) * std::log2(n))));
+  std::uint32_t f = synchronous ? sync_fault_threshold(g) : async_fault_threshold(g);
+  double per_group = vgroup_robust_probability(g, f, fault_rate);
+  double num_groups = std::max(1.0, n / static_cast<double>(g));
+  return std::pow(per_group, num_groups);
+}
+
+}  // namespace atum

@@ -1,0 +1,32 @@
+// Binomial tail arithmetic behind the paper's robustness analysis (§3.1):
+// a vgroup of size g tolerating f faults fails with P[X >= f+1] where
+// X ~ B(g, p). These functions reproduce the paper's worked examples
+// (B(4,.05) tail at 2 = 0.014; B(20,.05) tail at 10 = 1.134e-8) and the
+// k=4 => 0.999 all-vgroups-robust claim.
+#pragma once
+
+#include <cstdint>
+
+namespace atum {
+
+// P[X = k] for X ~ B(n, p), computed in log space for numerical stability.
+double binomial_pmf(std::uint32_t n, std::uint32_t k, double p);
+
+// P[X >= k] for X ~ B(n, p).
+double binomial_tail_geq(std::uint32_t n, std::uint32_t k, double p);
+
+// Probability that a single vgroup of size g with per-node fault
+// probability p is robust, i.e. has at most f faulty members.
+double vgroup_robust_probability(std::uint32_t g, std::uint32_t f, double p);
+
+// Faults tolerated per vgroup: floor((g-1)/2) sync, floor((g-1)/3) async.
+std::uint32_t sync_fault_threshold(std::uint32_t g);
+std::uint32_t async_fault_threshold(std::uint32_t g);
+
+// Probability that ALL n/g vgroups of size g = k*log2(n) are robust, under
+// independent uniform fault placement (the situation random walk shuffling
+// maintains). `synchronous` selects the fault threshold rule.
+double all_vgroups_robust_probability(double n, std::uint32_t k, double fault_rate,
+                                      bool synchronous);
+
+}  // namespace atum

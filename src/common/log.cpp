@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace atum {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace atum

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Benchmarks run with logging off; tests can raise
+// the level to debug protocol traces. Not thread-safe by design: the
+// simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace atum {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace atum
+
+#define ATUM_LOG(lvl)                                   \
+  if (::atum::LogLevel::lvl < ::atum::Logger::level()) { \
+  } else                                                 \
+    ::atum::detail::LogLine(::atum::LogLevel::lvl)

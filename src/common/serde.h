@@ -1,0 +1,94 @@
+// Byte-level serialization for wire messages.
+//
+// Every protocol message in Atum is serialized through ByteWriter/ByteReader
+// so that (a) message sizes are realistic inputs to the bandwidth model and
+// (b) Byzantine nodes can emit arbitrary byte strings that correct nodes
+// must parse defensively. Readers throw SerdeError on malformed input;
+// protocol code treats that as a faulty sender.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atum {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  // LEB128 variable-length unsigned integer; compact for small counts.
+  void varint(std::uint64_t v);
+  void bytes(const Bytes& b);             // length-prefixed
+  void raw(const std::uint8_t* p, std::size_t n);  // no length prefix
+  void str(std::string_view s);           // length-prefixed
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_elem) {
+    varint(v.size());
+    for (const T& e : v) write_elem(*this, e);
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) : p_(buf.data()), end_(buf.data() + buf.size()) {}
+  ByteReader(const std::uint8_t* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::uint64_t varint();
+  Bytes bytes();
+  std::string str();
+  void raw(std::uint8_t* out, std::size_t n);
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_elem) {
+    std::uint64_t n = varint();
+    check(n <= remaining(), "vector length exceeds buffer");
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_elem(*this));
+    return out;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+  void expect_done() const { check(done(), "trailing bytes after message"); }
+
+ private:
+  static void check(bool ok, const char* what) {
+    if (!ok) throw SerdeError(what);
+  }
+  void need(std::size_t n) const { check(remaining() >= n, "truncated message"); }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace atum

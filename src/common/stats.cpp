@@ -1,0 +1,145 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace atum {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) throw std::logic_error("Samples::percentile on empty set");
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  auto rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(xs_.size())));
+  if (rank > 0) --rank;
+  return xs_[std::min(rank, xs_.size() - 1)];
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0) / static_cast<double>(xs_.size());
+}
+
+double Samples::cdf_at(double x) const {
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) / static_cast<double>(xs_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf_points(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (xs_.empty() || points == 0) return out;
+  ensure_sorted();
+  double lo = xs_.front(), hi = xs_.back();
+  if (points == 1 || lo == hi) {
+    out.emplace_back(hi, 1.0);
+    return out;
+  }
+  for (std::size_t i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, cdf_at(x));
+  }
+  return out;
+}
+
+double chi_square_statistic(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) throw std::invalid_argument("chi_square_statistic: no bins");
+  std::uint64_t total = std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total == 0) return 0.0;
+  double expected = static_cast<double>(total) / static_cast<double>(counts.size());
+  double stat = 0.0;
+  for (std::uint64_t c : counts) {
+    double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) via series (x < a+1) or
+// continued fraction (x >= a+1); Numerical Recipes formulation.
+double gamma_p(double a, double x) {
+  if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma_p domain");
+  if (x == 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::fabs(del) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Lentz's continued fraction for Q(a, x); P = 1 - Q.
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-14) break;
+  }
+  double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double chi_square_sf(double x, double df) {
+  if (df <= 0.0) throw std::invalid_argument("chi_square_sf: df must be positive");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - gamma_p(df / 2.0, x / 2.0);
+}
+
+bool passes_uniformity_test(const std::vector<std::uint64_t>& counts, double confidence) {
+  if (counts.size() < 2) return true;
+  double stat = chi_square_statistic(counts);
+  double p_value = chi_square_sf(stat, static_cast<double>(counts.size() - 1));
+  // The test cannot distinguish the data from uniform iff it fails to
+  // reject at significance (1 - confidence).
+  return p_value > (1.0 - confidence);
+}
+
+}  // namespace atum

@@ -1,0 +1,67 @@
+// Statistics utilities for the evaluation harness: running summaries,
+// percentiles/CDFs (Fig 8), and Pearson's chi-square uniformity test used to
+// derive the rwl/hc configuration guideline (Fig 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atum {
+
+// Online mean/min/max/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance, 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Collects samples; answers percentile / CDF queries. Used for latency CDFs.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  // p in [0,1]; nearest-rank percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+  double mean() const;
+  double max() const { return percentile(1.0); }
+  // Fraction of samples <= x.
+  double cdf_at(double x) const;
+  // Evenly spaced (x, F(x)) points suitable for plotting a CDF.
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points) const;
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+// Pearson chi-square goodness-of-fit against the uniform distribution over
+// `bins` categories. Returns the test statistic.
+double chi_square_statistic(const std::vector<std::uint64_t>& counts);
+
+// Upper-tail probability P[X >= x] for a chi-square distribution with df
+// degrees of freedom (regularized incomplete gamma).
+double chi_square_sf(double x, double df);
+
+// True if the observed counts are indistinguishable from uniform at the
+// given confidence level (e.g. 0.99 as in the paper: the test must NOT
+// reject uniformity). alpha = 1 - confidence.
+bool passes_uniformity_test(const std::vector<std::uint64_t>& counts, double confidence);
+
+}  // namespace atum

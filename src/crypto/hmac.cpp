@@ -1,0 +1,40 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace atum::crypto {
+
+Digest hmac_sha256(const Bytes& key, const std::uint8_t* msg, std::size_t len) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock];
+  std::memset(key_block, 0, kBlock);
+
+  if (key.size() > kBlock) {
+    Digest kd = sha256(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad, kBlock);
+  inner.update(msg, len);
+  Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad, kBlock);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message) {
+  return hmac_sha256(key, message.data(), message.size());
+}
+
+}  // namespace atum::crypto

@@ -1,0 +1,13 @@
+// HMAC-SHA256 (RFC 2104). The MAC primitive behind inter-node message
+// authentication and the simulated signature scheme in keys.h.
+#pragma once
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+
+namespace atum::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message);
+Digest hmac_sha256(const Bytes& key, const std::uint8_t* msg, std::size_t len);
+
+}  // namespace atum::crypto

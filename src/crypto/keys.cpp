@@ -1,0 +1,41 @@
+#include "crypto/keys.h"
+
+#include "crypto/hmac.h"
+
+namespace atum::crypto {
+
+SigningKey::SigningKey(NodeId node, std::uint64_t seed) : node_(node) {
+  ByteWriter w;
+  w.str("atum-key-derivation");
+  w.u64(seed);
+  w.u64(node);
+  Digest d = sha256(w.data());
+  secret_.assign(d.begin(), d.end());
+}
+
+Signature SigningKey::sign(const Bytes& message) const {
+  return hmac_sha256(secret_, message);
+}
+
+Signature SigningKey::sign(const std::uint8_t* msg, std::size_t len) const {
+  return hmac_sha256(secret_, msg, len);
+}
+
+const SigningKey& KeyStore::key_of(NodeId node) {
+  auto it = keys_.find(node);
+  if (it == keys_.end()) {
+    it = keys_.emplace(node, std::make_unique<SigningKey>(node, seed_)).first;
+  }
+  return *it->second;
+}
+
+bool KeyStore::verify(NodeId signer, const Bytes& message, const Signature& sig) {
+  return key_of(signer).sign(message) == sig;
+}
+
+bool KeyStore::verify(NodeId signer, const std::uint8_t* msg, std::size_t len,
+                      const Signature& sig) {
+  return key_of(signer).sign(msg, len) == sig;
+}
+
+}  // namespace atum::crypto

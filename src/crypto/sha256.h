@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for message digests
+// (§5.1 digest optimization), AShare chunk integrity checks (§4.2.2), and
+// as the compression core of HMAC signatures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/serde.h"
+
+namespace atum::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  // Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+Digest sha256(const Bytes& data);
+Digest sha256(std::string_view data);
+
+std::string to_hex(const Digest& d);
+
+// Stable 64-bit fingerprint of a digest, for use as a map key / message id.
+std::uint64_t digest_prefix64(const Digest& d);
+
+}  // namespace atum::crypto

@@ -1,0 +1,164 @@
+// Vgroup-granularity cluster simulator.
+//
+// The paper's growth (Fig 6), churn (Fig 7) and exchange-suppression
+// (Fig 13) experiments exercise thousands of concurrent membership
+// operations on EC2. Running every one of those through per-node SMR
+// message exchanges is infeasible on one machine, so this model simulates
+// the system at the granularity the protocols operate on — whole vgroups —
+// while keeping the *cost structure* of the real protocols:
+//
+//   * every membership change occupies its vgroup for one agreement
+//     (Dolev-Strong slot: (f+2) rounds; PBFT: ~4 network RTTs) plus a
+//     state-transfer term that grows with the number of cycles hc;
+//   * random walks take rwl hops of one round / one RTT each;
+//   * after every join/leave the vgroup shuffles: one walk per member, and
+//     an exchange that is SUPPRESSED when the selected partner is already
+//     busy with another operation (the §7 flexibility/robustness tension);
+//   * splits and merges follow gmax/gmin exactly as §3.3 describes, with
+//     H-graph edge repair.
+//
+// The node-level protocol implementation lives in core/atum.h; this
+// simulator reproduces its dynamics at scale (8k+ vgroups) and is validated
+// against it in the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "overlay/hgraph.h"
+#include "sim/simulator.h"
+#include "smr/reconfig.h"
+
+namespace atum::group {
+
+struct ClusterSimConfig {
+  std::size_t hc = 5;        // H-graph cycles
+  std::size_t rwl = 10;      // random-walk length
+  std::size_t gmin = 7;      // merge threshold
+  std::size_t gmax = 14;     // split threshold
+  smr::EngineKind kind = smr::EngineKind::kSync;
+  DurationMicros round_duration = seconds(1.0);  // sync round
+  DurationMicros net_rtt = millis(2);            // async cost basis
+  // Fraction of joining nodes that are Byzantine (placement tracking only;
+  // faulty nodes do not disrupt the simulated protocols).
+  double byzantine_fraction = 0.0;
+  bool shuffle_enabled = true;
+  std::uint64_t seed = 0xc1a5c1a5ULL;
+};
+
+struct ClusterSimStats {
+  std::uint64_t joins_requested = 0;
+  std::uint64_t joins_completed = 0;
+  std::uint64_t leaves_requested = 0;
+  std::uint64_t leaves_completed = 0;
+  std::uint64_t exchanges_attempted = 0;
+  std::uint64_t exchanges_completed = 0;
+  std::uint64_t exchanges_suppressed = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t walks = 0;
+  std::uint64_t walk_hops = 0;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(sim::Simulator& sim, ClusterSimConfig config);
+
+  // Creates the system with a single one-node vgroup (§3.3.1).
+  void bootstrap(NodeId first_node);
+
+  // Drives one join/leave through the simulated protocol. Completion is
+  // asynchronous; completion callbacks are optional.
+  void request_join(NodeId node, std::function<void()> done = nullptr);
+  void request_leave(NodeId node, std::function<void()> done = nullptr);
+
+  // Marks a node Byzantine for placement statistics.
+  void mark_byzantine(NodeId node, bool byz = true);
+
+  std::size_t node_count() const { return node_group_.size(); }
+  std::size_t group_count() const { return groups_.size(); }
+  std::optional<GroupId> group_of(NodeId n) const;
+  std::vector<NodeId> members_of(GroupId g) const;
+  bool is_busy(GroupId g) const;
+  std::size_t queued_ops() const;
+
+  const overlay::HGraph& graph() const { return graph_; }
+  const ClusterSimStats& stats() const { return stats_; }
+  const ClusterSimConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Fault-placement summary: for each group, the number of Byzantine
+  // members and the fault threshold of the configured engine.
+  struct GroupRobustness {
+    GroupId group;
+    std::size_t size;
+    std::size_t byzantine;
+    std::size_t threshold;
+    bool robust() const { return byzantine <= threshold; }
+  };
+  std::vector<GroupRobustness> robustness_report() const;
+
+  // Consistency invariants (tests): node<->group maps agree, H-graph
+  // vertices match live groups, sizes within bounds once stable.
+  bool check_invariants(std::string* why = nullptr) const;
+
+  // Protocol cost model (exposed for benches/tests).
+  DurationMicros agreement_latency(std::size_t group_size) const;
+  DurationMicros hop_latency() const;
+
+ private:
+  struct Group {
+    std::set<NodeId> members;
+    bool busy = false;
+    std::deque<std::function<void()>> pending;  // ops waiting for the group
+  };
+
+  GroupId mint_group_id() { return next_group_id_++; }
+  Group& group(GroupId g);
+  const Group* find(GroupId g) const;
+
+  // Occupies `g` for `duration`, then runs `body` and releases the group
+  // (starting its next queued op).
+  void occupy(GroupId g, DurationMicros duration, std::function<void()> body);
+  // As occupy, but the group STAYS busy after `body`; the body must arrange
+  // for release() (used to chain an agreement into a shuffle window).
+  void occupy_held(GroupId g, DurationMicros duration, std::function<void()> body);
+  // Runs `op` as soon as `g` is free.
+  void when_free(GroupId g, std::function<void()> op);
+  void release(GroupId g);
+  void pump(GroupId g);
+
+  // Picks the endpoint of an rwl-hop walk starting at `from` and calls
+  // `done` with it after the simulated walk latency.
+  void run_walk(GroupId from, std::function<void(GroupId)> done);
+
+  void join_via_contact(NodeId node, GroupId contact, std::function<void()> done);
+  void admit(NodeId node, GroupId target, std::function<void()> done);
+  void depart(NodeId node, GroupId g, std::function<void()> done);
+  // Pre-condition: the caller already holds `g` busy; releases it when all
+  // exchange attempts have resolved.
+  void shuffle_held(GroupId g, std::function<void()> done);
+  void maybe_resize(GroupId g, std::function<void()> done);
+  void split(GroupId g, std::function<void()> done);
+  void merge(GroupId g, std::function<void()> done);
+
+  sim::Simulator& sim_;
+  ClusterSimConfig config_;
+  Rng rng_;
+  overlay::HGraph graph_;
+  std::map<GroupId, Group> groups_;
+  std::unordered_map<NodeId, GroupId> node_group_;
+  std::set<NodeId> byzantine_;
+  GroupId next_group_id_ = 0;
+  ClusterSimStats stats_;
+};
+
+}  // namespace atum::group

@@ -1,0 +1,53 @@
+// Wire message envelope. `type` dispatches to the protocol handler; the
+// payload is an opaque byte string produced by ByteWriter.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace atum::net {
+
+// Message type tags. Grouped per layer; values are part of the wire format.
+enum class MsgType : std::uint16_t {
+  // SMR layer
+  kDsBroadcast = 0x0100,      // Dolev-Strong value + signature chain
+  kPbftRequest = 0x0200,
+  kPbftPrePrepare = 0x0201,
+  kPbftPrepare = 0x0202,
+  kPbftCommit = 0x0203,
+  kPbftViewChange = 0x0204,
+  kPbftNewView = 0x0205,
+  kPbftCheckpoint = 0x0206,
+  kPbftStateFetch = 0x0207,
+  kPbftStateReply = 0x0208,
+  // Overlay layer
+  kGroupMsgFull = 0x0300,     // full copy of a group message
+  kGroupMsgDigest = 0x0301,   // digest-only copy (§5.1 optimization)
+  // Group / core layer
+  kHeartbeat = 0x0400,
+  kJoinRequest = 0x0401,
+  kJoinReply = 0x0402,
+  // Applications
+  kAppData = 0x0500,
+  kChunkRequest = 0x0501,
+  kChunkReply = 0x0502,
+  kStreamPush = 0x0503,
+  kStreamPull = 0x0504,
+  kStreamChunk = 0x0505,
+};
+
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  MsgType type = MsgType::kAppData;
+  Bytes payload;
+
+  // Bytes on the wire: payload plus transport/auth framing (addresses,
+  // type, length, MAC tag) — roughly a TCP+TLS-record overhead.
+  static constexpr std::size_t kHeaderOverhead = 64;
+  std::size_t wire_size() const { return payload.size() + kHeaderOverhead; }
+};
+
+}  // namespace atum::net

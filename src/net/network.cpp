@@ -1,0 +1,156 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atum::net {
+
+namespace {
+std::uint64_t link_key(NodeId a, NodeId b) {
+  NodeId lo = std::min(a, b), hi = std::max(a, b);
+  return (lo << 32) ^ hi;
+}
+}  // namespace
+
+NetworkConfig NetworkConfig::datacenter() { return NetworkConfig{}; }
+
+NetworkConfig NetworkConfig::wide_area() {
+  NetworkConfig c;
+  c.wan = true;
+  c.jitter_mean = 2'000;
+  // One-way latencies in ms between: eu-west, eu-central, us-east, us-west,
+  // ap-tokyo, ap-singapore, ap-sydney, sa-east. Values follow public
+  // inter-region RTT/2 measurements, rounded.
+  const int ms[8][8] = {
+      {1, 12, 40, 70, 110, 85, 140, 95},   // eu-west
+      {12, 1, 45, 75, 115, 80, 145, 100},  // eu-central
+      {40, 45, 1, 35, 75, 110, 100, 60},   // us-east
+      {70, 75, 35, 1, 55, 85, 70, 90},     // us-west
+      {110, 115, 75, 55, 1, 35, 55, 130},  // ap-tokyo
+      {85, 80, 110, 85, 35, 1, 45, 160},   // ap-singapore
+      {140, 145, 100, 70, 55, 45, 1, 160}, // ap-sydney
+      {95, 100, 60, 90, 130, 160, 160, 1}, // sa-east
+  };
+  c.region_latency.assign(8, std::vector<DurationMicros>(8));
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) c.region_latency[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = millis(ms[i][j]);
+  return c;
+}
+
+SimNetwork::SimNetwork(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
+    : sim_(sim), config_(std::move(config)), rng_(seed) {}
+
+void SimNetwork::attach(NodeId node, MessageHandler handler) {
+  handlers_[node].fallback = std::move(handler);
+}
+
+void SimNetwork::attach(NodeId node, MsgType type, MessageHandler handler) {
+  handlers_[node].by_type[static_cast<std::uint16_t>(type)] = std::move(handler);
+}
+
+void SimNetwork::detach(NodeId node) {
+  auto it = handlers_.find(node);
+  if (it == handlers_.end()) return;
+  it->second.fallback = nullptr;
+  if (it->second.empty()) handlers_.erase(it);
+}
+
+void SimNetwork::detach(NodeId node, MsgType type) {
+  auto it = handlers_.find(node);
+  if (it == handlers_.end()) return;
+  it->second.by_type.erase(static_cast<std::uint16_t>(type));
+  if (it->second.empty()) handlers_.erase(it);
+}
+
+const MessageHandler* SimNetwork::handler_for(NodeId node, MsgType type) const {
+  auto it = handlers_.find(node);
+  if (it == handlers_.end()) return nullptr;
+  auto tit = it->second.by_type.find(static_cast<std::uint16_t>(type));
+  if (tit != it->second.by_type.end()) return &tit->second;
+  if (it->second.fallback) return &it->second.fallback;
+  return nullptr;
+}
+
+std::size_t SimNetwork::region_of(NodeId node) const {
+  return static_cast<std::size_t>(node % config_.region_latency.size());
+}
+
+DurationMicros SimNetwork::latency_between(NodeId from, NodeId to) {
+  DurationMicros base;
+  if (config_.wan && !config_.region_latency.empty()) {
+    base = config_.region_latency[region_of(from)][region_of(to)];
+  } else {
+    base = config_.base_latency;
+  }
+  DurationMicros jitter = 0;
+  if (config_.jitter_mean > 0) {
+    double u = rng_.next_double();
+    jitter = static_cast<DurationMicros>(
+        -static_cast<double>(config_.jitter_mean) * std::log1p(-u));
+  }
+  return base + jitter;
+}
+
+bool SimNetwork::link_ok(NodeId from, NodeId to) const {
+  if (isolated_.contains(from) || isolated_.contains(to)) return false;
+  return !blocked_links_.contains(link_key(from, to));
+}
+
+void SimNetwork::isolate(NodeId node, bool isolated) {
+  if (isolated) {
+    isolated_.insert(node);
+  } else {
+    isolated_.erase(node);
+  }
+}
+
+void SimNetwork::block_link(NodeId a, NodeId b, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert(link_key(a, b));
+  } else {
+    blocked_links_.erase(link_key(a, b));
+  }
+}
+
+void SimNetwork::send(Message msg) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.wire_size();
+
+  if (!link_ok(msg.from, msg.to) || !handlers_.contains(msg.to)) {
+    ++stats_.messages_blocked;
+    return;
+  }
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  const double size = static_cast<double>(msg.wire_size());
+  const TimeMicros now = sim_.now();
+
+  Flow& out = flows_[msg.from];
+  auto egress_cost = static_cast<DurationMicros>(
+      size / config_.egress_bytes_per_sec * kMicrosPerSecond);
+  TimeMicros depart = std::max(now, out.egress_free);
+  out.egress_free = depart + egress_cost;
+
+  TimeMicros arrive = out.egress_free + latency_between(msg.from, msg.to);
+
+  Flow& in = flows_[msg.to];
+  auto ingress_cost = static_cast<DurationMicros>(
+      size / config_.ingress_bytes_per_sec * kMicrosPerSecond);
+  TimeMicros deliver = std::max(arrive, in.ingress_free) + ingress_cost + config_.per_message_cpu;
+  in.ingress_free = deliver;
+
+  sim_.schedule_at(deliver, [this, m = std::move(msg)]() {
+    const MessageHandler* handler = handler_for(m.to, m.type);
+    if (handler == nullptr || !link_ok(m.from, m.to)) {
+      ++stats_.messages_blocked;
+      return;
+    }
+    ++stats_.messages_delivered;
+    (*handler)(m);
+  });
+}
+
+}  // namespace atum::net

@@ -1,0 +1,163 @@
+// Simulated network: the substrate standing in for EC2's datacenter (Sync
+// experiments) and the 8-region WAN (Async experiments).
+//
+// Model per message:
+//   depart  = max(now, sender egress free)        (egress serialization)
+//   arrive  = depart + size/egress_bw + latency(from,to)
+//   deliver = max(arrive, receiver ingress free) + size/ingress_bw
+// plus optional drop probability and link/node partitions. Latency is
+// base + exponential jitter, or a region matrix in WAN mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace atum::net {
+
+struct NetworkConfig {
+  // Intra-datacenter defaults (EC2 micro-ish): 0.25 ms base one-way latency.
+  DurationMicros base_latency = 250;
+  DurationMicros jitter_mean = 100;       // exponential jitter added per message
+  double drop_probability = 0.0;          // applied before delivery
+  double egress_bytes_per_sec = 12.5e6;   // ~100 Mbit/s
+  double ingress_bytes_per_sec = 12.5e6;
+  // Per-message processing cost at the receiver; models the micro
+  // instance's limited CPU. 0 disables the model.
+  DurationMicros per_message_cpu = 15;
+
+  // WAN mode: nodes are assigned to regions round-robin; latency(from,to)
+  // comes from the matrix (micros, one-way) instead of base_latency.
+  bool wan = false;
+  std::vector<std::vector<DurationMicros>> region_latency;
+
+  static NetworkConfig datacenter();
+  // 8 regions as in the paper: EU x2, US x2, Asia x2, Australia, S.America.
+  static NetworkConfig wide_area();
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_blocked = 0;  // partitioned or unregistered target
+  std::uint64_t bytes_sent = 0;
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+class SimNetwork {
+ public:
+  SimNetwork(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed = 0x7e77e7ULL);
+
+  // Registers (or replaces) a node's default receive handler.
+  void attach(NodeId node, MessageHandler handler);
+  // Registers a handler for one message type; takes precedence over the
+  // default handler. Lets several protocol components share one node.
+  void attach(NodeId node, MsgType type, MessageHandler handler);
+  void detach(NodeId node);
+  void detach(NodeId node, MsgType type);
+  bool attached(NodeId node) const { return handlers_.contains(node); }
+
+  // Queues a message for delivery. Never blocks; delivery (or drop) is
+  // scheduled on the simulator.
+  void send(Message msg);
+
+  // Fault injection.
+  void isolate(NodeId node, bool isolated);
+  void block_link(NodeId a, NodeId b, bool blocked);  // bidirectional
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+
+  const NetworkStats& stats() const { return stats_; }
+  const NetworkConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  DurationMicros latency_between(NodeId from, NodeId to);
+
+ private:
+  struct Flow {
+    TimeMicros egress_free = 0;
+    TimeMicros ingress_free = 0;
+  };
+  bool link_ok(NodeId from, NodeId to) const;
+  std::size_t region_of(NodeId node) const;
+
+  struct NodeHandlers {
+    MessageHandler fallback;
+    std::unordered_map<std::uint16_t, MessageHandler> by_type;
+    bool empty() const { return !fallback && by_type.empty(); }
+  };
+  const MessageHandler* handler_for(NodeId node, MsgType type) const;
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, NodeHandlers> handlers_;
+  std::unordered_map<NodeId, Flow> flows_;
+  std::unordered_set<NodeId> isolated_;
+  std::unordered_set<std::uint64_t> blocked_links_;  // key = min<<32|max (ids fit 32 bits in practice)
+  NetworkStats stats_;
+};
+
+// Narrow per-node view of the network: what protocol code holds. Keeps
+// protocols implementation-agnostic (a socket-backed transport would
+// implement the same surface). Each Transport remembers what it registered
+// so that close() removes only its own handlers — several components
+// (SMR engine, overlay, application) share one node.
+class Transport {
+ public:
+  Transport(SimNetwork& net, NodeId self) : net_(&net), self_(self) {}
+  Transport(const Transport& other) : net_(other.net_), self_(other.self_) {}
+  Transport& operator=(const Transport& other) {
+    net_ = other.net_;
+    self_ = other.self_;
+    return *this;  // registrations are not copied
+  }
+  Transport(Transport&&) = default;
+  Transport& operator=(Transport&&) = default;
+
+  NodeId self() const { return self_; }
+  sim::Simulator& simulator() { return net_->simulator(); }
+
+  void send(NodeId to, MsgType type, Bytes payload) {
+    net_->send(Message{self_, to, type, std::move(payload)});
+  }
+  // Registers the node's default handler (owned by this Transport).
+  void listen(MessageHandler handler) {
+    net_->attach(self_, std::move(handler));
+    owns_fallback_ = true;
+  }
+  // Registers handlers for an explicit set of message types.
+  void listen(std::initializer_list<MsgType> types, const MessageHandler& handler) {
+    for (MsgType t : types) {
+      net_->attach(self_, t, handler);
+      owned_types_.push_back(t);
+    }
+  }
+  void close() {
+    if (owns_fallback_) {
+      net_->detach(self_);
+      owns_fallback_ = false;
+    }
+    for (MsgType t : owned_types_) net_->detach(self_, t);
+    owned_types_.clear();
+  }
+
+  SimNetwork& network() { return *net_; }
+
+ private:
+  SimNetwork* net_;
+  NodeId self_;
+  bool owns_fallback_ = false;
+  std::vector<MsgType> owned_types_;
+};
+
+}  // namespace atum::net

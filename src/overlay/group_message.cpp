@@ -1,0 +1,117 @@
+#include "overlay/group_message.h"
+
+#include <algorithm>
+
+namespace atum::overlay {
+
+namespace {
+
+Bytes encode_full(GroupMessageId id, const Bytes& payload) {
+  ByteWriter w;
+  w.u64(id.from_group);
+  w.u64(id.seq);
+  w.bytes(payload);
+  return w.take();
+}
+
+Bytes encode_digest(GroupMessageId id, const crypto::Digest& d) {
+  ByteWriter w;
+  w.u64(id.from_group);
+  w.u64(id.seq);
+  w.raw(d.data(), d.size());
+  return w.take();
+}
+
+}  // namespace
+
+void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
+                        GroupMessageId id, const std::vector<NodeId>& destination,
+                        const Bytes& payload, Rng& rng) {
+  // Rank of the local node among the (sorted) senders decides full vs digest.
+  auto it = std::find(senders.begin(), senders.end(), transport.self());
+  std::size_t rank = static_cast<std::size_t>(it - senders.begin());
+  std::size_t full_count = senders.size() / 2 + 1;  // any majority has a correct node
+  bool send_full = rank < full_count;
+
+  Bytes wire = send_full ? encode_full(id, payload)
+                         : encode_digest(id, crypto::sha256(payload));
+  net::MsgType type = send_full ? net::MsgType::kGroupMsgFull : net::MsgType::kGroupMsgDigest;
+
+  // §5.1: randomize destination order to avoid incast bursts.
+  std::vector<NodeId> order = destination;
+  rng.shuffle(order);
+  for (NodeId d : order) {
+    transport.send(d, type, wire);
+  }
+}
+
+GroupMessageReceiver::GroupMessageReceiver(net::Transport transport, DeliverFn deliver)
+    : transport_(std::move(transport)), deliver_(std::move(deliver)) {
+  transport_.listen({net::MsgType::kGroupMsgFull, net::MsgType::kGroupMsgDigest},
+                    [this](const net::Message& m) { on_message(m); });
+}
+
+GroupMessageReceiver::~GroupMessageReceiver() { transport_.close(); }
+
+void GroupMessageReceiver::on_message(const net::Message& msg) {
+  GroupMessageId id;
+  crypto::Digest digest;
+  Bytes payload;
+  bool is_full = msg.type == net::MsgType::kGroupMsgFull;
+  try {
+    ByteReader r(msg.payload);
+    id.from_group = r.u64();
+    id.seq = r.u64();
+    if (is_full) {
+      payload = r.bytes();
+      digest = crypto::sha256(payload);
+    } else {
+      r.raw(digest.data(), digest.size());
+    }
+    r.expect_done();
+  } catch (const SerdeError&) {
+    return;  // malformed: faulty sender
+  }
+
+  if (membership_ && !membership_(id.from_group, msg.from)) return;
+
+  Pending& p = pending_[id];
+  if (p.delivered) return;
+
+  auto& vouchers = p.vouches[digest];
+  if (std::find(vouchers.begin(), vouchers.end(), msg.from) == vouchers.end()) {
+    vouchers.push_back(msg.from);
+  }
+  if (is_full && !p.payloads.contains(digest)) {
+    p.payloads[digest] = {std::move(payload), msg.from};
+  }
+  try_deliver(id, p);
+}
+
+void GroupMessageReceiver::try_deliver(const GroupMessageId& id, Pending& p) {
+  if (p.delivered) return;
+  std::optional<std::size_t> size;
+  if (group_size_) size = group_size_(id.from_group);
+  if (!size) return;  // unknown sender group: keep buffering
+  std::size_t majority = *size / 2 + 1;
+
+  for (const auto& [digest, vouchers] : p.vouches) {
+    if (vouchers.size() < majority) continue;
+    auto pit = p.payloads.find(digest);
+    if (pit == p.payloads.end()) continue;  // majority but no full copy yet
+    p.delivered = true;
+    // Keep the tombstone so duplicates are not re-delivered; drop the data.
+    Bytes payload = std::move(pit->second.first);
+    NodeId relay = pit->second.second;
+    p.vouches.clear();
+    p.payloads.clear();
+    deliver_(id, relay, payload);
+    return;
+  }
+}
+
+void GroupMessageReceiver::reevaluate() {
+  for (auto& [id, p] : pending_) try_deliver(id, p);
+}
+
+}  // namespace atum::overlay

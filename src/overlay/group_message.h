@@ -1,0 +1,91 @@
+// Group messages (§3.1, Figure 3): the reliable communication primitive for
+// pairs of vgroups. A group message from vgroup A to vgroup B is sent by
+// every correct node of A to every node of B; a node of B accepts it once a
+// majority of A's members vouch for the same content, which makes the
+// primitive correct whenever A is robust.
+//
+// Two practical mechanisms from §5.1 are implemented:
+//  * digest optimization — only a majority of A's members transmit the full
+//    payload, the rest send its SHA-256 digest; any majority contains a
+//    correct node, so at least one full copy always arrives;
+//  * randomized send order — each sender permutes the destination list to
+//    avoid the synchronized bursts that cause incast throughput collapse.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "net/network.h"
+
+namespace atum::overlay {
+
+struct GroupMessageId {
+  GroupId from_group = kInvalidGroup;
+  std::uint64_t seq = 0;
+  friend auto operator<=>(const GroupMessageId&, const GroupMessageId&) = default;
+};
+
+// Sends one group message on behalf of the local node. `senders` is the
+// sorted membership of the local vgroup (must include `transport.self()`);
+// the first floor(g/2)+1 ranks transmit the full payload, the rest its
+// digest. Destinations are contacted in randomized order.
+void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
+                        GroupMessageId id, const std::vector<NodeId>& destination,
+                        const Bytes& payload, Rng& rng);
+
+// Per-node acceptance logic. Collects vouches until a majority of the
+// sending group agrees on one digest and a full payload with that digest
+// has arrived, then delivers exactly once.
+class GroupMessageReceiver {
+ public:
+  using DeliverFn =
+      std::function<void(const GroupMessageId& id, NodeId relay, const Bytes& payload)>;
+  // Resolves the size of a sending vgroup; acceptance needs the true size,
+  // not a size claimed on the wire by a possibly-Byzantine sender. Return
+  // nullopt for unknown groups (their messages stay buffered).
+  using GroupSizeFn = std::function<std::optional<std::size_t>(GroupId)>;
+  // Membership check: is `node` a member of `group`? Vouches from
+  // non-members are ignored.
+  using MembershipFn = std::function<bool(GroupId, NodeId)>;
+
+  GroupMessageReceiver(net::Transport transport, DeliverFn deliver);
+  ~GroupMessageReceiver();
+  GroupMessageReceiver(const GroupMessageReceiver&) = delete;
+  GroupMessageReceiver& operator=(const GroupMessageReceiver&) = delete;
+
+  void set_group_size_fn(GroupSizeFn fn) { group_size_ = std::move(fn); }
+  void set_membership_fn(MembershipFn fn) { membership_ = std::move(fn); }
+
+  // Re-evaluates buffered messages (e.g. after learning a group's
+  // composition through a neighbor update).
+  void reevaluate();
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    // digest -> distinct vouching senders
+    std::map<crypto::Digest, std::vector<NodeId>> vouches;
+    // digest -> (full payload, first relay that provided it)
+    std::map<crypto::Digest, std::pair<Bytes, NodeId>> payloads;
+    bool delivered = false;
+  };
+
+  void on_message(const net::Message& msg);
+  void try_deliver(const GroupMessageId& id, Pending& p);
+
+  net::Transport transport_;
+  DeliverFn deliver_;
+  GroupSizeFn group_size_;
+  MembershipFn membership_;
+  std::map<GroupMessageId, Pending> pending_;
+};
+
+}  // namespace atum::overlay

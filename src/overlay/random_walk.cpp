@@ -1,0 +1,201 @@
+#include "overlay/random_walk.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "overlay/hgraph.h"
+
+namespace atum::overlay {
+
+std::size_t WalkState::pick_link(std::size_t link_count) const {
+  if (link_count == 0) throw std::logic_error("WalkState::pick_link: no links");
+  if (step >= randomness.size()) throw std::logic_error("WalkState::pick_link: walk exhausted");
+  return static_cast<std::size_t>(randomness[step] % link_count);
+}
+
+Bytes WalkState::encode() const {
+  ByteWriter w;
+  w.u64(id.origin);
+  w.u64(id.nonce);
+  w.u8(static_cast<std::uint8_t>(purpose));
+  w.u32(rwl);
+  w.u32(step);
+  w.vec(randomness, [](ByteWriter& bw, std::uint64_t v) { bw.u64(v); });
+  w.bytes(payload);
+  w.vec(path, [](ByteWriter& bw, GroupId g) { bw.u64(g); });
+  return w.take();
+}
+
+WalkState WalkState::decode(const Bytes& wire) {
+  ByteReader r(wire);
+  WalkState s;
+  s.id.origin = r.u64();
+  s.id.nonce = r.u64();
+  s.purpose = static_cast<WalkPurpose>(r.u8());
+  s.rwl = r.u32();
+  s.step = r.u32();
+  if (s.rwl > 1024) throw SerdeError("walk length implausible");
+  s.randomness = r.vec<std::uint64_t>([](ByteReader& br) { return br.u64(); });
+  s.payload = r.bytes();
+  s.path = r.vec<GroupId>([](ByteReader& br) { return br.u64(); });
+  r.expect_done();
+  if (s.randomness.size() != s.rwl) throw SerdeError("walk randomness size mismatch");
+  if (s.step > s.rwl) throw SerdeError("walk step out of range");
+  return s;
+}
+
+WalkState WalkState::start(WalkId id, WalkPurpose purpose, std::uint32_t rwl, Bytes payload,
+                           Rng& rng) {
+  WalkState s;
+  s.id = id;
+  s.purpose = purpose;
+  s.rwl = rwl;
+  s.payload = std::move(payload);
+  s.randomness.reserve(rwl);
+  for (std::uint32_t i = 0; i < rwl; ++i) s.randomness.push_back(rng.next_u64());
+  s.path.push_back(id.origin);
+  return s;
+}
+
+// --------------------------------------------------------------------------
+// Certificates
+// --------------------------------------------------------------------------
+
+Bytes hop_cert_statement(const WalkId& id, std::uint32_t step, GroupId group,
+                         GroupId next_group) {
+  ByteWriter w;
+  w.str("atum-walk-hop");
+  w.u64(id.origin);
+  w.u64(id.nonce);
+  w.u32(step);
+  w.u64(group);
+  w.u64(next_group);
+  return w.take();
+}
+
+crypto::Signature sign_hop(const WalkId& id, std::uint32_t step, GroupId group,
+                           GroupId next_group, const crypto::SigningKey& key) {
+  return key.sign(hop_cert_statement(id, step, group, next_group));
+}
+
+Bytes CertChain::encode() const {
+  ByteWriter w;
+  w.varint(hops.size());
+  for (const HopCert& h : hops) {
+    w.u64(h.group);
+    w.u64(h.next_group);
+    w.u32(h.step);
+    w.varint(h.sigs.size());
+    for (const auto& [node, sig] : h.sigs) {
+      w.u64(node);
+      w.raw(sig.data(), sig.size());
+    }
+  }
+  return w.take();
+}
+
+CertChain CertChain::decode(const Bytes& wire) {
+  ByteReader r(wire);
+  CertChain c;
+  std::uint64_t n = r.varint();
+  if (n > 1024) throw SerdeError("certificate chain implausibly long");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HopCert h;
+    h.group = r.u64();
+    h.next_group = r.u64();
+    h.step = r.u32();
+    std::uint64_t m = r.varint();
+    if (m > 4096) throw SerdeError("hop certificate implausibly large");
+    for (std::uint64_t j = 0; j < m; ++j) {
+      NodeId node = r.u64();
+      crypto::Signature sig;
+      r.raw(sig.data(), sig.size());
+      h.sigs.emplace_back(node, sig);
+    }
+    c.hops.push_back(std::move(h));
+  }
+  r.expect_done();
+  return c;
+}
+
+std::optional<GroupId> CertChain::verify(
+    const WalkId& id, GroupId origin,
+    const std::function<std::optional<std::vector<NodeId>>(GroupId)>& members_of,
+    crypto::KeyStore& keys) const {
+  if (hops.empty()) return std::nullopt;
+  GroupId expected = origin;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    const HopCert& h = hops[i];
+    if (h.group != expected) return std::nullopt;
+    if (h.step != i) return std::nullopt;
+    auto members = members_of(h.group);
+    if (!members) return std::nullopt;
+
+    Bytes statement = hop_cert_statement(id, h.step, h.group, h.next_group);
+    std::size_t valid = 0;
+    std::vector<NodeId> seen;
+    for (const auto& [node, sig] : h.sigs) {
+      if (std::find(seen.begin(), seen.end(), node) != seen.end()) continue;
+      if (std::find(members->begin(), members->end(), node) == members->end()) continue;
+      if (!keys.verify(node, statement, sig)) continue;
+      seen.push_back(node);
+      ++valid;
+    }
+    if (valid < members->size() / 2 + 1) return std::nullopt;
+    expected = h.next_group;
+  }
+  return expected;
+}
+
+std::size_t CertChain::verification_count() const {
+  std::size_t n = 0;
+  for (const HopCert& h : hops) n += h.sigs.size();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Uniformity simulation (Figure 4)
+// --------------------------------------------------------------------------
+
+std::vector<std::uint64_t> simulate_walk_endpoints(std::size_t num_groups, std::size_t hc,
+                                                   std::size_t rwl, std::size_t walks, Rng& rng) {
+  if (num_groups == 0) throw std::invalid_argument("simulate_walk_endpoints: empty graph");
+  HGraph graph(hc);
+  for (GroupId g = 0; g < num_groups; ++g) {
+    if (g == 0) {
+      graph.add_first(0);
+    } else {
+      graph.insert_random(g, rng);
+    }
+  }
+  // Flatten the adjacency once: the Figure 4 sweep runs millions of steps.
+  const std::size_t degree = 2 * hc;
+  std::vector<GroupId> adj(num_groups * degree);
+  for (GroupId g = 0; g < num_groups; ++g) {
+    auto links = graph.links(g);
+    for (std::size_t i = 0; i < degree; ++i) {
+      adj[static_cast<std::size_t>(g) * degree + i] = links[i].target;
+    }
+  }
+  std::vector<std::uint64_t> counts(num_groups, 0);
+  for (std::size_t w = 0; w < walks; ++w) {
+    GroupId cur = 0;  // fixed origin: the joining vgroup's position
+    for (std::size_t s = 0; s < rwl; ++s) {
+      cur = adj[static_cast<std::size_t>(cur) * degree +
+                static_cast<std::size_t>(rng.next_below(degree))];
+    }
+    ++counts[static_cast<std::size_t>(cur)];
+  }
+  return counts;
+}
+
+std::size_t optimal_walk_length(std::size_t num_groups, std::size_t hc, double confidence,
+                                std::size_t walks_per_trial, std::size_t max_rwl, Rng& rng) {
+  for (std::size_t rwl = 1; rwl <= max_rwl; ++rwl) {
+    auto counts = simulate_walk_endpoints(num_groups, hc, rwl, walks_per_trial, rng);
+    if (passes_uniformity_test(counts, confidence)) return rwl;
+  }
+  return max_rwl;
+}
+
+}  // namespace atum::overlay

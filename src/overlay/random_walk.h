@@ -1,0 +1,122 @@
+// Random walks over the H-graph (§3.2, §5.1).
+//
+// A walk of length rwl hops vgroup-to-vgroup along uniformly chosen
+// incident links and selects the vgroup it stops at — the uniform-sampling
+// primitive behind shuffling, join placement, and split anchoring.
+//
+// Practicalities from §5.1 implemented here:
+//  * Bulk RNG — all rwl random numbers are generated when the walk starts
+//    and travel with it. Pre-computed per-vgroup pools are exploitable (a
+//    Byzantine node can drain the pool to bias later draws), so numbers are
+//    only minted once their purpose is fixed.
+//  * Identity establishment — either a backward phase (the reply retraces
+//    the walk's path) or certificate chains (each hop appends a signed
+//    statement naming the next group); both are provided.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "crypto/keys.h"
+
+namespace atum::overlay {
+
+struct WalkId {
+  GroupId origin = kInvalidGroup;
+  std::uint64_t nonce = 0;
+  friend auto operator<=>(const WalkId&, const WalkId&) = default;
+};
+
+// What the walk was started for; interpreted by the group layer when the
+// walk completes.
+enum class WalkPurpose : std::uint8_t {
+  kJoinPlacement = 0,   // find the vgroup that accommodates a joining node
+  kShuffleExchange = 1, // find an exchange partner for one shuffled node
+  kSplitAnchor = 2,     // find the insertion point for a new vgroup
+  kSample = 3,          // generic sampling (tests, applications)
+};
+
+struct WalkState {
+  WalkId id;
+  WalkPurpose purpose = WalkPurpose::kSample;
+  std::uint32_t rwl = 0;       // total hops to take
+  std::uint32_t step = 0;      // hops taken
+  std::vector<std::uint64_t> randomness;  // bulk RNG, one draw per hop
+  Bytes payload;               // purpose-specific data (e.g. joiner identity)
+  std::vector<GroupId> path;   // visited groups, origin first (backward phase)
+
+  bool done() const { return step >= rwl; }
+  // Picks the link index for the current hop out of `link_count` choices.
+  std::size_t pick_link(std::size_t link_count) const;
+
+  Bytes encode() const;
+  static WalkState decode(const Bytes& wire);
+
+  // Mints a fresh walk with bulk randomness drawn from `rng`.
+  static WalkState start(WalkId id, WalkPurpose purpose, std::uint32_t rwl, Bytes payload,
+                         Rng& rng);
+};
+
+// --------------------------------------------------------------------------
+// Certificate chains (§5.1 alternative to the backward phase)
+// --------------------------------------------------------------------------
+
+// One hop's certificate: a majority of `group`'s members sign the statement
+// "walk `id`, step `step`: we forwarded to `next_group`".
+struct HopCert {
+  GroupId group = kInvalidGroup;
+  GroupId next_group = kInvalidGroup;
+  std::uint32_t step = 0;
+  std::vector<std::pair<NodeId, crypto::Signature>> sigs;
+};
+
+// The statement bytes each member signs.
+Bytes hop_cert_statement(const WalkId& id, std::uint32_t step, GroupId group, GroupId next_group);
+
+// Builds the local node's signature for a hop certificate.
+crypto::Signature sign_hop(const WalkId& id, std::uint32_t step, GroupId group,
+                           GroupId next_group, const crypto::SigningKey& key);
+
+struct CertChain {
+  std::vector<HopCert> hops;
+
+  Bytes encode() const;
+  static CertChain decode(const Bytes& wire);
+
+  // Verifies the chain: hop 0 starts at `origin`, each hop's next_group
+  // matches the following hop's group, and each certificate carries valid
+  // signatures from a majority of that group's membership (resolved via
+  // `members_of`). Returns the selected (final) group on success.
+  std::optional<GroupId> verify(
+      const WalkId& id, GroupId origin,
+      const std::function<std::optional<std::vector<NodeId>>(GroupId)>& members_of,
+      crypto::KeyStore& keys) const;
+
+  // Cost model used by latency accounting: signature verifications needed.
+  std::size_t verification_count() const;
+};
+
+// --------------------------------------------------------------------------
+// Uniformity simulation (Figure 4)
+// --------------------------------------------------------------------------
+
+class HGraph;
+
+// Runs `walks` walks of length rwl from a fixed origin vertex on a random
+// H-graph with `num_groups` vertices and `hc` cycles; returns how often
+// each vertex was selected.
+std::vector<std::uint64_t> simulate_walk_endpoints(std::size_t num_groups, std::size_t hc,
+                                                   std::size_t rwl, std::size_t walks, Rng& rng);
+
+// The Figure 4 guideline: smallest rwl whose endpoint distribution is
+// indistinguishable from uniform by a chi-square test at `confidence`.
+// Returns max_rwl if none passes.
+std::size_t optimal_walk_length(std::size_t num_groups, std::size_t hc, double confidence,
+                                std::size_t walks_per_trial, std::size_t max_rwl, Rng& rng);
+
+}  // namespace atum::overlay

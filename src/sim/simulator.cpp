@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace atum::sim {
+
+EventId Simulator::schedule_at(TimeMicros t, EventFn fn) {
+  if (t < now_) t = now_;  // clamp: "immediately" for past deadlines
+  EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_after(DurationMicros delay, EventFn fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != 0) cancelled_.insert(id);
+}
+
+void Simulator::execute(Event e) {
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    execute(std::move(e));
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimeMicros t) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    if (e.at > t) break;
+    queue_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    execute(std::move(e));
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, DurationMicros period, EventFn fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  if (period <= 0) throw std::invalid_argument("PeriodicTimer: period must be positive");
+  arm();
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.schedule_after(period_, [this] {
+    if (!running_) return;
+    arm();   // re-arm first so fn_ may stop() us
+    fn_();
+  });
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace atum::sim

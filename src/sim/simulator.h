@@ -1,0 +1,92 @@
+// Discrete-event simulation engine.
+//
+// This is the substrate substituting for the paper's EC2 deployment: every
+// node's protocol logic runs as event handlers on one simulated clock.
+// Events with equal timestamps fire in scheduling order (stable), which
+// together with seeded RNG makes whole experiments bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atum::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeMicros now() const { return now_; }
+
+  // Schedules fn at absolute time t (>= now). Returns a handle for cancel().
+  EventId schedule_at(TimeMicros t, EventFn fn);
+  // Schedules fn after a non-negative delay.
+  EventId schedule_after(DurationMicros delay, EventFn fn);
+  // Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  // Runs events until the queue drains or `limit` events fired.
+  // Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+  // Runs events with timestamp <= t, then advances the clock to exactly t.
+  std::uint64_t run_until(TimeMicros t);
+  // Executes the single next event, if any. Returns false on empty queue.
+  bool step();
+
+  bool empty() const { return live_events() == 0; }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeMicros at;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  std::uint64_t live_events() const { return queue_.size() - cancelled_.size(); }
+  void execute(Event e);
+
+  TimeMicros now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+// RAII periodic timer: fires `fn` every `period` until destroyed or stopped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, DurationMicros period, EventFn fn);
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  DurationMicros period_;
+  EventFn fn_;
+  EventId pending_ = 0;
+  bool running_ = true;
+};
+
+}  // namespace atum::sim

@@ -1,0 +1,802 @@
+#include "smr/pbft.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace atum::smr {
+
+namespace {
+
+constexpr NodeId kNullOrigin = kInvalidNode;  // origin of gap-filling null requests
+
+void write_digest(ByteWriter& w, const crypto::Digest& d) { w.raw(d.data(), d.size()); }
+
+crypto::Digest read_digest(ByteReader& r) {
+  crypto::Digest d;
+  r.raw(d.data(), d.size());
+  return d;
+}
+
+}  // namespace
+
+PbftSmr::PbftSmr(net::Transport transport, GroupConfig config, crypto::KeyStore& keys,
+                 PbftOptions options, PbftFaultMode fault)
+    : transport_(std::move(transport)),
+      config_(std::move(config)),
+      keys_(keys),
+      options_(options),
+      fault_(fault),
+      current_timeout_(options.view_change_timeout) {
+  config_.normalize();
+  transport_.listen({net::MsgType::kPbftRequest, net::MsgType::kPbftPrePrepare,
+                     net::MsgType::kPbftPrepare, net::MsgType::kPbftCommit,
+                     net::MsgType::kPbftCheckpoint, net::MsgType::kPbftViewChange,
+                     net::MsgType::kPbftNewView, net::MsgType::kPbftStateFetch,
+                     net::MsgType::kPbftStateReply},
+                    [this](const net::Message& m) { on_message(m); });
+}
+
+PbftSmr::~PbftSmr() { stop(); }
+
+void PbftSmr::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  disarm_view_timer();
+  transport_.close();
+}
+
+void PbftSmr::set_decide_handler(DecideFn fn) { decide_ = std::move(fn); }
+
+bool PbftSmr::faulty_now() const {
+  switch (fault_) {
+    case PbftFaultMode::kCorrect: return false;
+    case PbftFaultMode::kSilent: return true;
+    case PbftFaultMode::kSilentPrimary: return is_primary();
+    case PbftFaultMode::kEquivocatePrimary: return false;  // handled in primary_assign
+  }
+  return false;
+}
+
+crypto::Digest PbftSmr::request_digest(const Request& req) const {
+  ByteWriter w;
+  w.str("pbft-req");
+  w.u64(req.id.origin);
+  w.u64(req.id.seq);
+  w.bytes(req.op);
+  return crypto::sha256(w.data());
+}
+
+void PbftSmr::broadcast(net::MsgType type, const Bytes& payload, bool include_self) {
+  for (NodeId peer : config_.members) {
+    if (peer == transport_.self()) continue;
+    transport_.send(peer, type, payload);
+  }
+  if (include_self) {
+    transport_.send(transport_.self(), type, payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request submission
+// ---------------------------------------------------------------------------
+
+void PbftSmr::propose(Bytes op) {
+  if (fault_ == PbftFaultMode::kSilent) return;
+  Request req{RequestId{transport_.self(), ++origin_seq_}, std::move(op)};
+
+  ByteWriter w;
+  w.u64(req.id.origin);
+  w.u64(req.id.seq);
+  w.bytes(req.op);
+  broadcast(net::MsgType::kPbftRequest, w.data());
+
+  pending_[req.id] = req.op;
+  if (is_primary() && !view_changing_) {
+    primary_assign(req);
+  }
+  arm_view_timer();
+}
+
+void PbftSmr::handle_request(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  Request req;
+  req.id.origin = r.u64();
+  req.id.seq = r.u64();
+  req.op = r.bytes();
+  if (req.id.origin != msg.from) return;          // clients are the members themselves
+  if (!config_.contains(req.id.origin)) return;
+  if (assigned_or_executed_.contains(req.id)) return;
+
+  pending_[req.id] = req.op;
+  if (is_primary() && !view_changing_) {
+    primary_assign(req);
+  }
+  // A pre-prepare may have overtaken this request; replay it now that the
+  // client's copy is available for cross-checking.
+  if (auto it = stashed_pre_prepares_.find(req.id); it != stashed_pre_prepares_.end()) {
+    net::Message stashed = std::move(it->second);
+    stashed_pre_prepares_.erase(it);
+    handle_pre_prepare(stashed);
+  }
+  arm_view_timer();  // backup: expect the primary to order it
+}
+
+void PbftSmr::primary_assign(const Request& req) {
+  if (assigned_or_executed_.contains(req.id)) return;
+  if (fault_ == PbftFaultMode::kSilentPrimary) return;
+  std::uint64_t seq = next_seq_++;
+  if (!in_window(seq)) return;  // stalled on checkpointing; request stays pending
+
+  crypto::Digest d = request_digest(req);
+  assigned_or_executed_.insert(req.id);
+  // NOTE: the request stays in pending_ until EXECUTED — the view-change
+  // timer watches pending_, and an assigned-but-never-committed request
+  // must still be able to trigger a view change.
+
+  LogEntry& entry = log_[seq];
+  entry.view = view_;
+  entry.digest = d;
+  entry.request = req;
+  entry.pre_prepared = true;
+
+  auto encode = [&](const Request& request) {
+    ByteWriter w;
+    w.u64(view_);
+    w.u64(seq);
+    write_digest(w, request_digest(request));
+    w.u64(request.id.origin);
+    w.u64(request.id.seq);
+    w.bytes(request.op);
+    return w.take();
+  };
+
+  if (fault_ == PbftFaultMode::kEquivocatePrimary) {
+    // Conflicting assignments to the two halves of the group. Correct
+    // replicas can never gather 2f matching prepares for either copy.
+    Request alt{RequestId{req.id.origin, req.id.seq}, req.op};
+    alt.op.push_back(0xFF);
+    Bytes wire_a = encode(req), wire_b = encode(alt);
+    std::size_t half = config_.size() / 2;
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      if (config_.members[i] == transport_.self()) continue;
+      transport_.send(config_.members[i], net::MsgType::kPbftPrePrepare,
+                      i < half ? wire_a : wire_b);
+    }
+    return;
+  }
+
+  broadcast(net::MsgType::kPbftPrePrepare, encode(req));
+  maybe_send_prepare(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Three-phase agreement
+// ---------------------------------------------------------------------------
+
+void PbftSmr::handle_pre_prepare(const net::Message& msg) {
+  if (msg.from != primary_of(view_)) return;
+  ByteReader r(msg.payload);
+  std::uint64_t view = r.u64();
+  std::uint64_t seq = r.u64();
+  crypto::Digest digest = read_digest(r);
+  Request req;
+  req.id.origin = r.u64();
+  req.id.seq = r.u64();
+  req.op = r.bytes();
+
+  if (view > view_ || (view == view_ && view_changing_)) {
+    // Also buffer current-view traffic while mid-view-change: the change
+    // may abort back into this view via a NEW-VIEW for it.
+    if (future_view_msgs_.size() < kFutureBufferCap) future_view_msgs_.push_back(msg);
+    return;
+  }
+  if (view != view_) return;
+  if (!in_window(seq)) return;
+  bool is_null = req.id.origin == kNullOrigin;
+  if (!is_null && request_digest(req) != digest) return;
+
+  // The primary must not invent or alter another member's request: accept
+  // only ops we can match against the client's own broadcast (or the
+  // primary's own ops — the primary is its own client). Unknown requests
+  // are stashed until the client's copy arrives.
+  if (!is_null && req.id.origin != msg.from && !assigned_or_executed_.contains(req.id)) {
+    auto pit = pending_.find(req.id);
+    if (pit == pending_.end()) {
+      stashed_pre_prepares_[req.id] = msg;
+      return;
+    }
+    if (pit->second != req.op) return;  // forged content: ignore
+  }
+
+  LogEntry& entry = log_[seq];
+  if (entry.pre_prepared) {
+    if (entry.view == view && entry.digest != digest) return;  // equivocation: ignore
+    if (entry.view == view) return;                            // duplicate
+  }
+  entry.view = view;
+  entry.digest = digest;
+  entry.request = req;
+  entry.pre_prepared = true;
+  if (!is_null) assigned_or_executed_.insert(req.id);
+  // The request remains pending_ until executed (liveness timer input).
+
+  ByteWriter w;
+  w.u64(view);
+  w.u64(seq);
+  write_digest(w, digest);
+  broadcast(net::MsgType::kPbftPrepare, w.data());
+  entry.prepares.insert(transport_.self());
+  maybe_send_commit(seq);
+  arm_view_timer();
+}
+
+void PbftSmr::handle_prepare(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  std::uint64_t view = r.u64();
+  std::uint64_t seq = r.u64();
+  crypto::Digest digest = read_digest(r);
+  if (view > view_) {
+    if (future_view_msgs_.size() < kFutureBufferCap) future_view_msgs_.push_back(msg);
+    return;
+  }
+  if (view != view_ || !in_window(seq)) return;
+
+  LogEntry& entry = log_[seq];
+  if (entry.pre_prepared && entry.digest != digest) return;
+  entry.prepares.insert(msg.from);
+  maybe_send_commit(seq);
+}
+
+void PbftSmr::maybe_send_prepare(std::uint64_t seq) {
+  // The primary's pre-prepare acts as its prepare.
+  LogEntry& entry = log_[seq];
+  entry.prepares.insert(transport_.self());
+  maybe_send_commit(seq);
+}
+
+void PbftSmr::maybe_send_commit(std::uint64_t seq) {
+  LogEntry& entry = log_[seq];
+  // Prepared: pre-prepare + 2f prepares (from distinct replicas, self incl).
+  if (!entry.pre_prepared) return;
+  if (entry.commits.contains(transport_.self())) return;
+  if (entry.prepares.size() < 2 * max_faults()) return;
+
+  ByteWriter w;
+  w.u64(view_);
+  w.u64(seq);
+  write_digest(w, entry.digest);
+  broadcast(net::MsgType::kPbftCommit, w.data());
+  entry.commits.insert(transport_.self());
+  try_execute();
+}
+
+void PbftSmr::handle_commit(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  std::uint64_t view = r.u64();
+  std::uint64_t seq = r.u64();
+  crypto::Digest digest = read_digest(r);
+  if (!in_window(seq)) return;
+
+  LogEntry& entry = log_[seq];
+  if (entry.pre_prepared && entry.digest != digest) return;
+  (void)view;  // commits from any view count once the digest matches
+  entry.commits.insert(msg.from);
+  try_execute();
+}
+
+void PbftSmr::try_execute() {
+  while (true) {
+    auto it = log_.find(next_exec_ + 1);
+    if (it == log_.end()) break;
+    LogEntry& entry = it->second;
+    bool committed = entry.pre_prepared && entry.prepares.size() >= 2 * max_faults() &&
+                     entry.commits.size() >= quorum();
+    if (!committed || entry.executed) break;
+    execute_entry(next_exec_ + 1, entry);
+  }
+}
+
+void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
+  entry.executed = true;
+  next_exec_ = seq;
+  const Request& req = *entry.request;
+  bool is_null = req.id.origin == kNullOrigin;
+  bool duplicate = !is_null && !executed_requests_.insert(req.id).second;
+  if (duplicate || is_null) {
+    exec_history_.push_back(ExecRecord{kNullOrigin, seq, {}});
+  } else {
+    exec_history_.push_back(ExecRecord{req.id.origin, req.id.seq, req.op});
+  }
+  if (!is_null && !duplicate && decide_) {
+    decide_(seq - 1, req.id.origin, req.op);
+  }
+  if (!is_null) assigned_or_executed_.insert(req.id);
+  pending_.erase(req.id);
+
+  if (seq % options_.checkpoint_interval == 0) {
+    send_checkpoint(seq);
+  }
+  // Progress was made: restart (or disarm) the liveness timer.
+  current_timeout_ = options_.view_change_timeout;
+  if (pending_.empty()) {
+    disarm_view_timer();
+  } else {
+    disarm_view_timer();
+    arm_view_timer();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints & state transfer
+// ---------------------------------------------------------------------------
+
+void PbftSmr::send_checkpoint(std::uint64_t seq) {
+  ByteWriter hw;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(seq) && i < exec_history_.size(); ++i) {
+    hw.u64(exec_history_[i].origin);
+    hw.u64(exec_history_[i].origin_seq);
+    hw.bytes(exec_history_[i].op);
+  }
+  crypto::Digest d = crypto::sha256(hw.data());
+
+  ByteWriter w;
+  w.u64(seq);
+  write_digest(w, d);
+  broadcast(net::MsgType::kPbftCheckpoint, w.data());
+  checkpoints_[seq][transport_.self()] = d;
+}
+
+void PbftSmr::handle_checkpoint(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  std::uint64_t seq = r.u64();
+  crypto::Digest d = read_digest(r);
+  if (seq <= stable_seq_) return;
+
+  auto& votes = checkpoints_[seq];
+  votes[msg.from] = d;
+
+  std::size_t matching = 0;
+  for (const auto& [node, digest] : votes) {
+    if (digest == d) ++matching;
+  }
+  if (matching >= quorum() && seq <= next_exec_) {
+    collect_garbage(seq);
+  } else if (matching >= max_faults() + 1 && seq > next_exec_ + options_.watermark_window / 2) {
+    // We have fallen behind a vouched checkpoint: fetch state.
+    request_state_transfer();
+  }
+}
+
+void PbftSmr::collect_garbage(std::uint64_t stable_seq) {
+  if (stable_seq <= stable_seq_) return;
+  stable_seq_ = stable_seq;
+  log_.erase(log_.begin(), log_.lower_bound(stable_seq + 1));
+  checkpoints_.erase(checkpoints_.begin(), checkpoints_.upper_bound(stable_seq));
+  // Requests stuck behind the window may now be assignable.
+  if (is_primary() && !view_changing_) {
+    auto pending_copy = pending_;
+    for (const auto& [id, op] : pending_copy) {
+      primary_assign(Request{id, op});
+    }
+  }
+}
+
+void PbftSmr::request_state_transfer() {
+  // Ask the freshest vouched checkpoint's voters for history.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->second.size() < max_faults() + 1) continue;
+    for (const auto& [node, digest] : it->second) {
+      if (node == transport_.self()) continue;
+      ByteWriter w;
+      w.u64(next_exec_);
+      transport_.send(node, net::MsgType::kPbftStateFetch, w.data());
+      return;  // one fetch at a time; retried on the next checkpoint signal
+    }
+  }
+}
+
+void PbftSmr::handle_state_fetch(const net::Message& msg) {
+  if (faulty_now()) return;
+  ByteReader r(msg.payload);
+  std::uint64_t from_seq = r.u64();
+  if (from_seq >= exec_history_.size()) return;
+
+  ByteWriter w;
+  w.u64(from_seq);
+  w.varint(exec_history_.size() - from_seq);
+  for (std::size_t i = static_cast<std::size_t>(from_seq); i < exec_history_.size(); ++i) {
+    w.u64(exec_history_[i].origin);
+    w.u64(exec_history_[i].origin_seq);
+    w.bytes(exec_history_[i].op);
+  }
+  transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
+}
+
+void PbftSmr::handle_state_reply(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  std::uint64_t from_seq = r.u64();
+  if (from_seq != next_exec_) return;  // stale reply
+  std::uint64_t count = r.varint();
+  std::vector<ExecRecord> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ExecRecord rec;
+    rec.origin = r.u64();
+    rec.origin_seq = r.u64();
+    rec.op = r.bytes();
+    entries.push_back(std::move(rec));
+  }
+
+  // Validate: the extended history must hash to a digest vouched by f+1
+  // replicas at some checkpoint covered by the reply.
+  std::vector<ExecRecord> candidate = exec_history_;
+  candidate.insert(candidate.end(), entries.begin(), entries.end());
+
+  std::uint64_t best_validated = 0;
+  for (const auto& [seq, votes] : checkpoints_) {
+    if (seq <= next_exec_ || seq > candidate.size()) continue;
+    ByteWriter hw;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(seq); ++i) {
+      hw.u64(candidate[i].origin);
+      hw.u64(candidate[i].origin_seq);
+      hw.bytes(candidate[i].op);
+    }
+    crypto::Digest d = crypto::sha256(hw.data());
+    std::size_t matching = 0;
+    for (const auto& [node, digest] : votes) {
+      if (digest == d) ++matching;
+    }
+    if (matching >= max_faults() + 1) best_validated = std::max(best_validated, seq);
+  }
+  if (best_validated == 0) return;  // cannot validate anything: discard
+
+  for (std::uint64_t seq = next_exec_ + 1; seq <= best_validated; ++seq) {
+    const ExecRecord& rec = candidate[static_cast<std::size_t>(seq - 1)];
+    exec_history_.push_back(rec);
+    if (rec.origin != kNullOrigin) {
+      executed_requests_.insert(RequestId{rec.origin, rec.origin_seq});
+      assigned_or_executed_.insert(RequestId{rec.origin, rec.origin_seq});
+      pending_.erase(RequestId{rec.origin, rec.origin_seq});
+      if (decide_) decide_(seq - 1, rec.origin, rec.op);
+    }
+    next_exec_ = seq;
+  }
+  collect_garbage(best_validated);
+  next_seq_ = std::max(next_seq_, next_exec_ + 1);
+}
+
+// ---------------------------------------------------------------------------
+// View changes
+// ---------------------------------------------------------------------------
+
+void PbftSmr::arm_view_timer() {
+  if (faulty_now() || stopped_) return;
+  if (view_timer_ != 0) return;  // already armed
+  if (pending_.empty()) return;
+  view_timer_ = transport_.simulator().schedule_after(current_timeout_, [this] {
+    view_timer_ = 0;
+    if (!pending_.empty() || view_changing_) start_view_change();
+  });
+}
+
+void PbftSmr::disarm_view_timer() {
+  if (view_timer_ != 0) {
+    transport_.simulator().cancel(view_timer_);
+    view_timer_ = 0;
+  }
+}
+
+void PbftSmr::start_view_change(std::uint64_t explicit_target) {
+  if (faulty_now()) return;
+  view_changing_ = true;
+  if (explicit_target > view_) {
+    target_view_ = explicit_target;
+  } else {
+    target_view_ = std::max(target_view_ + 1, view_ + 1);
+  }
+  current_timeout_ *= 2;  // exponential backoff to reach eventual synchrony
+
+  ViewChangeMsg vc;
+  vc.new_view = target_view_;
+  vc.stable_seq = stable_seq_;
+  vc.sender = transport_.self();
+  for (const auto& [seq, entry] : log_) {
+    if (!entry.pre_prepared || !entry.request) continue;
+    if (entry.prepares.size() >= 2 * max_faults()) {
+      vc.prepared.push_back(PreparedProof{seq, entry.view, entry.digest, *entry.request});
+    }
+  }
+
+  ByteWriter w;
+  w.u64(vc.new_view);
+  w.u64(vc.stable_seq);
+  w.varint(vc.prepared.size());
+  for (const auto& p : vc.prepared) {
+    w.u64(p.seq);
+    w.u64(p.view);
+    write_digest(w, p.digest);
+    w.u64(p.request.id.origin);
+    w.u64(p.request.id.seq);
+    w.bytes(p.request.op);
+  }
+  crypto::Signature sig = keys_.key_of(transport_.self()).sign(w.data());
+  w.raw(sig.data(), sig.size());
+  broadcast(net::MsgType::kPbftViewChange, w.data());
+
+  view_changes_[vc.new_view][vc.sender] = std::move(vc);
+  maybe_assemble_new_view();
+  arm_view_timer();  // if this view change stalls, try the next view
+  if (view_timer_ == 0) {
+    // No pending request, but the view change itself must complete.
+    view_timer_ = transport_.simulator().schedule_after(current_timeout_, [this] {
+      view_timer_ = 0;
+      if (view_changing_) start_view_change();
+    });
+  }
+}
+
+void PbftSmr::handle_view_change(const net::Message& msg) {
+  if (msg.payload.size() < 32) return;
+  Bytes body(msg.payload.begin(), msg.payload.end() - 32);
+  crypto::Signature sig;
+  std::copy(msg.payload.end() - 32, msg.payload.end(), sig.begin());
+  if (options_.verify_signatures && !keys_.verify(msg.from, body, sig)) return;
+
+  ByteReader r(body);
+  ViewChangeMsg vc;
+  vc.new_view = r.u64();
+  vc.stable_seq = r.u64();
+  std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PreparedProof p;
+    p.seq = r.u64();
+    p.view = r.u64();
+    p.digest = read_digest(r);
+    p.request.id.origin = r.u64();
+    p.request.id.seq = r.u64();
+    p.request.op = r.bytes();
+    vc.prepared.push_back(std::move(p));
+  }
+  vc.sender = msg.from;
+  if (vc.new_view <= view_) return;
+
+  view_changes_[vc.new_view][vc.sender] = std::move(vc);
+
+  // View synchronization (PBFT's liveness rule): once f+1 distinct
+  // replicas demand views above our CURRENT TARGET, adopt the smallest
+  // such view — this funnels replicas whose timeouts diverged (e.g.
+  // across a healed partition) into one view that can reach a quorum,
+  // without getting pinned to stale demands for already-dead views.
+  std::uint64_t threshold = view_changing_ ? target_view_ : view_;
+  std::set<NodeId> demanders;
+  std::uint64_t smallest = 0;
+  for (const auto& [v, senders] : view_changes_) {
+    if (v <= threshold) continue;
+    if (smallest == 0) smallest = v;
+    for (const auto& [s, m] : senders) demanders.insert(s);
+  }
+  if (smallest != 0 && demanders.size() >= max_faults() + 1) {
+    start_view_change(smallest);
+    return;
+  }
+  maybe_assemble_new_view();
+}
+
+void PbftSmr::maybe_assemble_new_view() {
+  if (!view_changing_) return;
+  auto it = view_changes_.find(target_view_);
+  if (it == view_changes_.end()) return;
+  if (primary_of(target_view_) != transport_.self()) return;
+  if (it->second.size() < quorum()) return;
+  if (faulty_now()) return;
+
+  // Compute the re-proposal set O: for every prepared seq, the proof with
+  // the highest view wins; gaps become null requests.
+  std::map<std::uint64_t, PreparedProof> chosen;
+  std::uint64_t max_stable = 0, max_seq = 0;
+  for (const auto& [sender, vc] : it->second) {
+    max_stable = std::max(max_stable, vc.stable_seq);
+    for (const auto& p : vc.prepared) {
+      max_seq = std::max(max_seq, p.seq);
+      auto [cit, inserted] = chosen.try_emplace(p.seq, p);
+      if (!inserted && p.view > cit->second.view) cit->second = p;
+    }
+  }
+
+  ByteWriter w;
+  w.u64(target_view_);
+  w.u64(max_stable);
+  std::vector<Bytes> o_entries;
+  for (std::uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
+    ByteWriter ow;
+    ow.u64(seq);
+    auto cit = chosen.find(seq);
+    if (cit != chosen.end()) {
+      ow.u8(1);
+      ow.u64(cit->second.request.id.origin);
+      ow.u64(cit->second.request.id.seq);
+      ow.bytes(cit->second.request.op);
+    } else {
+      ow.u8(0);  // null request fills the gap
+    }
+    o_entries.push_back(ow.take());
+  }
+  w.varint(o_entries.size());
+  for (const Bytes& e : o_entries) w.bytes(e);
+  crypto::Signature sig = keys_.key_of(transport_.self()).sign(w.data());
+  w.raw(sig.data(), sig.size());
+  broadcast(net::MsgType::kPbftNewView, w.data());
+
+  // Enter the view locally and re-propose O.
+  std::vector<PreparedProof> carried;
+  for (std::uint64_t seq = max_stable + 1; seq <= max_seq; ++seq) {
+    auto cit = chosen.find(seq);
+    if (cit != chosen.end()) {
+      carried.push_back(cit->second);
+    } else {
+      carried.push_back(PreparedProof{
+          seq, target_view_, crypto::Digest{}, Request{RequestId{kNullOrigin, seq}, {}}});
+    }
+  }
+  enter_view(target_view_, carried);
+}
+
+void PbftSmr::handle_new_view(const net::Message& msg) {
+  if (msg.payload.size() < 32) return;
+  Bytes body(msg.payload.begin(), msg.payload.end() - 32);
+  crypto::Signature sig;
+  std::copy(msg.payload.end() - 32, msg.payload.end(), sig.begin());
+  if (options_.verify_signatures && !keys_.verify(msg.from, body, sig)) return;
+
+  ByteReader r(body);
+  std::uint64_t new_view = r.u64();
+  std::uint64_t stable = r.u64();
+  if (new_view <= view_) return;
+  if (primary_of(new_view) != msg.from) return;
+
+  std::uint64_t n = r.varint();
+  std::vector<PreparedProof> carried;
+  std::uint64_t seq_expected = stable + 1;
+  for (std::uint64_t i = 0; i < n; ++i, ++seq_expected) {
+    ByteReader er(r.bytes());
+    std::uint64_t seq = er.u64();
+    if (seq != seq_expected) return;  // malformed O
+    std::uint8_t has_req = er.u8();
+    PreparedProof p;
+    p.seq = seq;
+    p.view = new_view;
+    if (has_req) {
+      p.request.id.origin = er.u64();
+      p.request.id.seq = er.u64();
+      p.request.op = er.bytes();
+      p.digest = request_digest(p.request);
+    } else {
+      p.request = Request{RequestId{kNullOrigin, seq}, {}};
+      p.digest = crypto::Digest{};
+    }
+    carried.push_back(std::move(p));
+  }
+
+  // Sanity check against our own evidence: the new primary must not replace
+  // a request we hold a prepared certificate for (higher or equal view).
+  for (const auto& [seq, entry] : log_) {
+    if (!entry.pre_prepared || entry.prepares.size() < 2 * max_faults()) continue;
+    if (seq <= stable) continue;
+    for (const auto& p : carried) {
+      if (p.seq == seq && p.request.id.origin != kNullOrigin && p.digest != entry.digest &&
+          entry.view >= p.view) {
+        return;  // provably bogus NEW-VIEW: stay and let the next view change fire
+      }
+    }
+  }
+
+  enter_view(new_view, carried);
+}
+
+void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carried) {
+  view_ = v;
+  target_view_ = v;
+  view_changing_ = false;
+  ++view_changes_completed_;
+  current_timeout_ = options_.view_change_timeout;
+  disarm_view_timer();
+  view_changes_.erase(view_changes_.begin(), view_changes_.upper_bound(v));
+
+  // Assignments from abandoned views are void: only executed requests and
+  // the ones the new view carries over count as handled. Anything else in
+  // pending_ becomes assignable again.
+  assigned_or_executed_ = executed_requests_;
+  for (const auto& p : carried) {
+    if (p.request.id.origin != kNullOrigin) assigned_or_executed_.insert(p.request.id);
+  }
+
+  // Reset per-view agreement state above the stable checkpoint and replay O.
+  // Sequence assignments from dead views are void: the new view's number
+  // space restarts right after what the view change carried over —
+  // otherwise a stale next_seq_ leaves unfillable holes below it.
+  std::uint64_t carried_max = std::max(next_exec_, stable_seq_);
+  for (const auto& p : carried) carried_max = std::max(carried_max, p.seq);
+  log_.erase(log_.upper_bound(carried_max), log_.end());
+  next_seq_ = carried_max + 1;
+
+  for (const auto& p : carried) {
+    if (p.seq <= next_exec_) continue;  // already executed here
+    LogEntry& entry = log_[p.seq];
+    if (entry.executed) continue;
+    entry.view = v;
+    entry.digest = p.digest;
+    entry.request = p.request;
+    entry.pre_prepared = true;
+    entry.prepares.clear();
+    entry.commits.clear();
+
+    ByteWriter w;
+    w.u64(v);
+    w.u64(p.seq);
+    write_digest(w, p.digest);
+    broadcast(net::MsgType::kPbftPrepare, w.data());
+    entry.prepares.insert(transport_.self());
+  }
+
+  // Replay protocol messages that arrived for this view before we entered
+  // it (early entrants' prepares must not be lost).
+  std::deque<net::Message> replay;
+  replay.swap(future_view_msgs_);
+  for (const net::Message& m : replay) {
+    if (m.type == net::MsgType::kPbftPrePrepare) {
+      handle_pre_prepare(m);
+    } else if (m.type == net::MsgType::kPbftPrepare) {
+      handle_prepare(m);
+    }
+  }
+
+  // The new primary picks up whatever is still pending.
+  if (is_primary()) {
+    auto pending_copy = pending_;
+    for (const auto& [id, op] : pending_copy) {
+      primary_assign(Request{id, op});
+    }
+  } else if (!faulty_now()) {
+    // Retransmit our own unordered requests: the new primary may never
+    // have received them (e.g. it was partitioned when they were issued).
+    for (const auto& [id, op] : pending_) {
+      if (id.origin != transport_.self()) continue;
+      ByteWriter w;
+      w.u64(id.origin);
+      w.u64(id.seq);
+      w.bytes(op);
+      transport_.send(primary_of(view_), net::MsgType::kPbftRequest, w.take());
+    }
+  }
+  if (!pending_.empty()) arm_view_timer();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void PbftSmr::on_message(const net::Message& msg) {
+  if (stopped_) return;
+  if (fault_ == PbftFaultMode::kSilent) return;
+  if (!config_.contains(msg.from)) return;
+  try {
+    switch (msg.type) {
+      case net::MsgType::kPbftRequest: handle_request(msg); break;
+      case net::MsgType::kPbftPrePrepare: handle_pre_prepare(msg); break;
+      case net::MsgType::kPbftPrepare: handle_prepare(msg); break;
+      case net::MsgType::kPbftCommit: handle_commit(msg); break;
+      case net::MsgType::kPbftCheckpoint: handle_checkpoint(msg); break;
+      case net::MsgType::kPbftViewChange: handle_view_change(msg); break;
+      case net::MsgType::kPbftNewView: handle_new_view(msg); break;
+      case net::MsgType::kPbftStateFetch: handle_state_fetch(msg); break;
+      case net::MsgType::kPbftStateReply: handle_state_reply(msg); break;
+      default: break;
+    }
+  } catch (const SerdeError&) {
+    // Malformed bytes mark the sender as faulty; drop silently.
+  }
+}
+
+}  // namespace atum::smr

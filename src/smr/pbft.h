@@ -1,0 +1,190 @@
+// PBFT-style asynchronous BFT SMR [20] (Castro & Liskov), the engine behind
+// Atum's Async implementation.
+//
+// g replicas tolerate f = floor((g-1)/3) Byzantine faults. Safety never
+// depends on timing; liveness needs eventual synchrony, which the replica
+// approximates with view-change timers that double on every failed view.
+//
+// Protocol surface implemented here:
+//   REQUEST      every member doubles as a client: ops are broadcast to all
+//                replicas, buffered, and assigned a sequence by the primary
+//   PRE-PREPARE  primary -> backups, carries the request payload
+//   PREPARE      all -> all; a request is *prepared* after pre-prepare +
+//                2f matching prepares
+//   COMMIT       all -> all; *committed-local* after 2f+1 matching commits;
+//                executed in sequence order
+//   CHECKPOINT   every K executions; stable after 2f+1 matching digests,
+//                advances the low watermark and truncates the log
+//   VIEW-CHANGE / NEW-VIEW
+//                timer-driven primary replacement carrying prepared
+//                certificates so decided requests survive the view change
+//   STATE FETCH  lagging replicas fetch the executed-op log from a peer and
+//                validate it against an f+1-vouched checkpoint digest
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "smr/smr.h"
+
+namespace atum::smr {
+
+struct PbftOptions {
+  DurationMicros view_change_timeout = seconds(2.0);
+  std::uint64_t checkpoint_interval = 64;
+  // Log window size (high watermark = low + window).
+  std::uint64_t watermark_window = 256;
+  bool verify_signatures = true;
+};
+
+enum class PbftFaultMode {
+  kCorrect,
+  kSilent,             // no participation at all
+  kSilentPrimary,      // behaves correctly unless primary, then goes quiet
+  kEquivocatePrimary,  // as primary, sends conflicting pre-prepares
+};
+
+class PbftSmr final : public SmrEngine {
+ public:
+  PbftSmr(net::Transport transport, GroupConfig config, crypto::KeyStore& keys,
+          PbftOptions options, PbftFaultMode fault = PbftFaultMode::kCorrect);
+  ~PbftSmr() override;
+
+  void propose(Bytes op) override;
+  void set_decide_handler(DecideFn fn) override;
+  const GroupConfig& config() const override { return config_; }
+  std::uint64_t decided_count() const override { return next_exec_; }
+  void stop() override;
+
+  std::size_t max_faults() const { return async_max_faults(config_.size()); }
+  std::size_t quorum() const { return 2 * max_faults() + 1; }
+  std::uint64_t view() const { return view_; }
+  std::uint64_t stable_seq() const { return stable_seq_; }
+  bool is_primary() const { return primary_of(view_) == transport_.self(); }
+  NodeId primary_of(std::uint64_t v) const {
+    return config_.members[static_cast<std::size_t>(v % config_.size())];
+  }
+  std::uint64_t view_changes_completed() const { return view_changes_completed_; }
+
+ private:
+  // (origin, origin-local seq) identifies a request end-to-end.
+  struct RequestId {
+    NodeId origin;
+    std::uint64_t seq;
+    friend auto operator<=>(const RequestId&, const RequestId&) = default;
+  };
+  struct Request {
+    RequestId id;
+    Bytes op;
+  };
+  struct LogEntry {
+    std::uint64_t view = 0;
+    crypto::Digest digest{};
+    std::optional<Request> request;
+    bool pre_prepared = false;
+    std::set<NodeId> prepares;
+    std::set<NodeId> commits;
+    bool executed = false;
+  };
+  struct PreparedProof {
+    std::uint64_t seq;
+    std::uint64_t view;
+    crypto::Digest digest;
+    Request request;
+  };
+  struct ViewChangeMsg {
+    std::uint64_t new_view;
+    std::uint64_t stable_seq;
+    std::vector<PreparedProof> prepared;
+    NodeId sender;
+  };
+
+  void on_message(const net::Message& msg);
+  void handle_request(const net::Message& msg);
+  void handle_pre_prepare(const net::Message& msg);
+  void handle_prepare(const net::Message& msg);
+  void handle_commit(const net::Message& msg);
+  void handle_checkpoint(const net::Message& msg);
+  void handle_view_change(const net::Message& msg);
+  void handle_new_view(const net::Message& msg);
+  void handle_state_fetch(const net::Message& msg);
+  void handle_state_reply(const net::Message& msg);
+
+  void primary_assign(const Request& req);
+  void maybe_send_prepare(std::uint64_t seq);
+  void maybe_send_commit(std::uint64_t seq);
+  void try_execute();
+  void execute_entry(std::uint64_t seq, LogEntry& entry);
+  void broadcast(net::MsgType type, const Bytes& payload, bool include_self = false);
+  void send_checkpoint(std::uint64_t seq);
+  void collect_garbage(std::uint64_t stable_seq);
+
+  void arm_view_timer();
+  void disarm_view_timer();
+  // explicit_target == 0 means "next view after the current target".
+  void start_view_change(std::uint64_t explicit_target = 0);
+  void maybe_assemble_new_view();
+  void enter_view(std::uint64_t v, const std::vector<PreparedProof>& carried);
+  void request_state_transfer();
+
+  crypto::Digest request_digest(const Request& req) const;
+  bool in_window(std::uint64_t seq) const {
+    return seq > stable_seq_ && seq <= stable_seq_ + options_.watermark_window;
+  }
+  bool faulty_now() const;
+
+  net::Transport transport_;
+  GroupConfig config_;
+  crypto::KeyStore& keys_;
+  PbftOptions options_;
+  PbftFaultMode fault_;
+  DecideFn decide_;
+
+  std::uint64_t view_ = 0;
+  std::uint64_t next_seq_ = 1;       // primary's next assignment
+  std::uint64_t next_exec_ = 0;      // count of executed entries == next seq-1
+  std::uint64_t stable_seq_ = 0;     // last stable checkpoint
+  std::uint64_t origin_seq_ = 0;     // local client sequence
+  std::uint64_t view_changes_completed_ = 0;
+
+  std::map<std::uint64_t, LogEntry> log_;
+  std::map<RequestId, Bytes> pending_;           // not yet pre-prepared
+  std::set<RequestId> assigned_or_executed_;     // dedup
+  // Pre-prepares whose client request has not arrived yet; replayed when it
+  // does (the request broadcast can be overtaken by the primary's message).
+  std::map<RequestId, net::Message> stashed_pre_prepares_;
+  // Protocol messages for views we have not entered yet: replicas enter a
+  // new view at different instants, and prepares sent by early entrants
+  // must not be lost for late ones. Replayed by enter_view.
+  std::deque<net::Message> future_view_msgs_;
+  static constexpr std::size_t kFutureBufferCap = 4096;
+  // Request ids already executed: an equivocating client (e.g. a Byzantine
+  // primary re-ordering its own op) must not be delivered twice.
+  std::set<RequestId> executed_requests_;
+  std::map<std::uint64_t, std::map<NodeId, crypto::Digest>> checkpoints_;
+  struct ExecRecord {
+    NodeId origin;
+    std::uint64_t origin_seq;
+    Bytes op;
+  };
+  std::vector<ExecRecord> exec_history_;  // one per executed seq
+
+  // View change state.
+  bool view_changing_ = false;
+  std::uint64_t target_view_ = 0;
+  std::map<std::uint64_t, std::map<NodeId, ViewChangeMsg>> view_changes_;
+  sim::EventId view_timer_ = 0;
+  DurationMicros current_timeout_;
+
+  bool stopped_ = false;
+};
+
+}  // namespace atum::smr

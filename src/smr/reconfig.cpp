@@ -1,0 +1,117 @@
+#include "smr/reconfig.h"
+
+#include <algorithm>
+
+namespace atum::smr {
+
+namespace {
+constexpr std::uint8_t kAppOp = 0;
+constexpr std::uint8_t kConfigOp = 1;
+}  // namespace
+
+std::unique_ptr<SmrEngine> make_engine(net::Transport transport, GroupConfig config,
+                                       crypto::KeyStore& keys, const EngineOptions& options) {
+  if (options.kind == EngineKind::kSync) {
+    return std::make_unique<DolevStrongSmr>(std::move(transport), std::move(config), keys,
+                                            options.ds, options.ds_fault);
+  }
+  return std::make_unique<PbftSmr>(std::move(transport), std::move(config), keys, options.pbft,
+                                   options.pbft_fault);
+}
+
+ReconfigurableSmr::ReconfigurableSmr(net::SimNetwork& net, NodeId self, GroupConfig initial,
+                                     crypto::KeyStore& keys, EngineOptions options)
+    : net_(net), self_(self), config_(std::move(initial)), keys_(keys), options_(options) {
+  config_.normalize();
+  start_engine();
+}
+
+ReconfigurableSmr::~ReconfigurableSmr() { stop(); }
+
+void ReconfigurableSmr::stop() {
+  if (engine_) {
+    engine_->stop();
+    engine_.reset();
+  }
+}
+
+void ReconfigurableSmr::start_engine() {
+  engine_ = make_engine(net::Transport(net_, self_), config_, keys_, options_);
+  engine_->set_decide_handler(
+      [this](std::uint64_t, NodeId origin, const Bytes& op) { on_engine_decide(origin, op); });
+  // Reconfiguration must not lose in-flight proposals (SMART carries them
+  // into the next configuration's instance).
+  for (const Bytes& op : unacked_) {
+    engine_->propose(op);
+  }
+}
+
+void ReconfigurableSmr::propose(Bytes op) {
+  ByteWriter w;
+  w.u8(kAppOp);
+  w.bytes(op);
+  Bytes wrapped = w.take();
+  unacked_.push_back(wrapped);
+  if (engine_) engine_->propose(std::move(wrapped));
+}
+
+void ReconfigurableSmr::propose_reconfig(GroupConfig new_config) {
+  new_config.normalize();
+  ByteWriter w;
+  w.u8(kConfigOp);
+  w.vec(new_config.members, [](ByteWriter& bw, NodeId n) { bw.u64(n); });
+  Bytes wrapped = w.take();
+  unacked_.push_back(wrapped);
+  if (engine_) engine_->propose(std::move(wrapped));
+}
+
+void ReconfigurableSmr::on_engine_decide(NodeId origin, const Bytes& wrapped) {
+  if (origin == self_) {
+    auto it = std::find(unacked_.begin(), unacked_.end(), wrapped);
+    if (it != unacked_.end()) unacked_.erase(it);
+  }
+
+  ByteReader r(wrapped);
+  std::uint8_t tag;
+  try {
+    tag = r.u8();
+    if (tag == kAppOp) {
+      Bytes op = r.bytes();
+      std::uint64_t seq = global_seq_++;
+      if (decide_) decide_(seq, origin, op);
+      return;
+    }
+    if (tag != kConfigOp) return;  // unknown tag: faulty proposer, ignore
+
+    GroupConfig next;
+    next.members = r.vec<NodeId>([](ByteReader& br) { return br.u64(); });
+    next.normalize();
+    if (next.members.empty()) return;  // refuse to reconfigure to nothing
+    if (next.members == config_.members) return;  // no-op (e.g. several
+    // members proposed the same change and one already won)
+
+    ++global_seq_;
+    ++epoch_;
+    config_ = next;
+    // Defer the engine swap out of the decide callback: the old engine is
+    // still on the stack.
+    if (!switching_) {
+      switching_ = true;
+      net_.simulator().schedule_after(0, [this] {
+        switching_ = false;
+        if (engine_) {
+          engine_->stop();
+          engine_.reset();
+        }
+        if (config_.contains(self_)) {
+          start_engine();
+        }
+        if (config_changed_) config_changed_(epoch_, config_);
+      });
+    }
+  } catch (const SerdeError&) {
+    // Malformed decided op: a faulty origin proposed garbage. Skip it.
+  }
+}
+
+}  // namespace atum::smr

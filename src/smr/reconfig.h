@@ -1,0 +1,86 @@
+// Epoch-based SMR reconfiguration, after the SMART approach [55] the paper
+// combines with PBFT: each membership change closes the current engine and
+// starts a fresh one for the new configuration. Decisions keep a single
+// monotonically increasing sequence across epochs; operations proposed but
+// not yet decided when an epoch closes are re-proposed in the next epoch.
+//
+// The wrapper manages only the *local* replica's lifecycle. Creating
+// replicas on newly added members (and state-syncing them) is the group
+// layer's job — it learns about membership changes via the config handler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "smr/dolev_strong.h"
+#include "smr/pbft.h"
+#include "smr/smr.h"
+
+namespace atum::smr {
+
+enum class EngineKind { kSync, kAsync };
+
+struct EngineOptions {
+  EngineKind kind = EngineKind::kSync;
+  DolevStrongOptions ds;
+  PbftOptions pbft;
+  DsFaultMode ds_fault = DsFaultMode::kCorrect;
+  PbftFaultMode pbft_fault = PbftFaultMode::kCorrect;
+};
+
+// Builds a fresh engine for a configuration. Exposed so tests can run both
+// kinds through one code path.
+std::unique_ptr<SmrEngine> make_engine(net::Transport transport, GroupConfig config,
+                                       crypto::KeyStore& keys, const EngineOptions& options);
+
+class ReconfigurableSmr {
+ public:
+  using ConfigFn = std::function<void(std::uint64_t epoch, const GroupConfig&)>;
+
+  ReconfigurableSmr(net::SimNetwork& net, NodeId self, GroupConfig initial,
+                    crypto::KeyStore& keys, EngineOptions options);
+  ~ReconfigurableSmr();
+
+  // Proposes an application operation (totally ordered across epochs).
+  void propose(Bytes op);
+  // Proposes a membership change; decided like any op, then switches epoch.
+  void propose_reconfig(GroupConfig new_config);
+
+  void set_decide_handler(DecideFn fn) { decide_ = std::move(fn); }
+  void set_config_handler(ConfigFn fn) { config_changed_ = std::move(fn); }
+
+  const GroupConfig& config() const { return config_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t decided_count() const { return global_seq_; }
+  // False once the local node has been reconfigured out of the group.
+  bool active() const { return engine_ != nullptr; }
+  void stop();
+
+ private:
+  void start_engine();
+  void on_engine_decide(NodeId origin, const Bytes& wrapped);
+
+  net::SimNetwork& net_;
+  NodeId self_;
+  GroupConfig config_;
+  crypto::KeyStore& keys_;
+  EngineOptions options_;
+
+  DecideFn decide_;
+  ConfigFn config_changed_;
+
+  std::unique_ptr<SmrEngine> engine_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t global_seq_ = 0;
+  // Ops this node proposed that have not been decided yet; re-proposed on
+  // epoch change so reconfiguration cannot silently drop them.
+  std::vector<Bytes> unacked_;
+  bool switching_ = false;
+};
+
+}  // namespace atum::smr

@@ -1,0 +1,64 @@
+// State machine replication inside one vgroup.
+//
+// Atum is agnostic to the SMR protocol (§3.1): it only needs totally-ordered
+// delivery of operations among the vgroup's members, tolerating f Byzantine
+// members. Two engines implement this interface:
+//   * DolevStrongSmr — synchronous rounds, f = floor((g-1)/2)   [32]
+//   * PbftSmr        — eventual synchrony, f = floor((g-1)/3)   [20]
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace atum::smr {
+
+// Membership of one replication group. Members are kept sorted so that all
+// correct replicas agree on primary rotation and deterministic ordering.
+struct GroupConfig {
+  std::vector<NodeId> members;
+
+  void normalize() {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+  }
+  std::size_t size() const { return members.size(); }
+  bool contains(NodeId n) const {
+    return std::binary_search(members.begin(), members.end(), n);
+  }
+  std::size_t index_of(NodeId n) const {
+    auto it = std::lower_bound(members.begin(), members.end(), n);
+    return static_cast<std::size_t>(it - members.begin());
+  }
+};
+
+// Invoked exactly once per decided slot, in sequence order, with identical
+// (seq, origin, op) at every correct replica.
+using DecideFn = std::function<void(std::uint64_t seq, NodeId origin, const Bytes& op)>;
+
+// Fault threshold rules (paper §3.1).
+inline std::size_t sync_max_faults(std::size_t g) { return g == 0 ? 0 : (g - 1) / 2; }
+inline std::size_t async_max_faults(std::size_t g) { return g == 0 ? 0 : (g - 1) / 3; }
+
+class SmrEngine {
+ public:
+  virtual ~SmrEngine() = default;
+
+  // Submits an operation originated by the local replica. The engine
+  // eventually decides it (liveness holds while faults <= f).
+  virtual void propose(Bytes op) = 0;
+
+  // Registers the decision callback; must be set before the first decide.
+  virtual void set_decide_handler(DecideFn fn) = 0;
+
+  virtual const GroupConfig& config() const = 0;
+  virtual std::uint64_t decided_count() const = 0;
+
+  // Tears the replica down (stops timers, detaches from the transport).
+  virtual void stop() = 0;
+};
+
+}  // namespace atum::smr

@@ -1,0 +1,275 @@
+// Tests for AShare: metadata index semantics, PUT/GET/DELETE/SEARCH,
+// randomized replication with the Figure 5 feedback loop, and integrity
+// checks against corrupt (Byzantine) replicas.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "apps/ashare/ashare.h"
+
+namespace atum::ashare {
+namespace {
+
+core::Params fast_params() {
+  core::Params p;
+  p.hc = 3;
+  p.rwl = 4;
+  p.gmax = 8;
+  p.gmin = 4;
+  p.round_duration = millis(20);
+  p.heartbeat_period = seconds(10);
+  return p;
+}
+
+Bytes blob(std::size_t n, std::uint8_t fill = 0x5a) { return Bytes(n, fill); }
+
+// ---------------------------------------------------------------------------
+// MetadataIndex
+// ---------------------------------------------------------------------------
+
+FileMeta meta_of(NodeId owner, const std::string& name, std::size_t chunks = 2) {
+  FileMeta m;
+  m.key = FileKey{owner, name};
+  m.size = chunks * 100;
+  m.chunk_size = 100;
+  for (std::size_t i = 0; i < chunks; ++i) m.chunk_digests.push_back(crypto::sha256(blob(i + 1)));
+  return m;
+}
+
+TEST(MetadataIndex, PutInsertsWithOwnerAsHolder) {
+  MetadataIndex idx;
+  EXPECT_TRUE(idx.put(meta_of(1, "a"), 1));
+  auto m = idx.lookup(FileKey{1, "a"});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->holders.contains(1));
+  EXPECT_EQ(idx.replica_count(FileKey{1, "a"}), 1u);
+}
+
+TEST(MetadataIndex, ForeignNamespaceWriteRejected) {
+  MetadataIndex idx;
+  EXPECT_FALSE(idx.put(meta_of(1, "a"), 2));  // node 2 writing node 1's namespace
+  EXPECT_EQ(idx.file_count(), 0u);
+}
+
+TEST(MetadataIndex, RemoveIsOwnerOnly) {
+  MetadataIndex idx;
+  idx.put(meta_of(1, "a"), 1);
+  EXPECT_FALSE(idx.remove(FileKey{1, "a"}, 2));
+  EXPECT_TRUE(idx.remove(FileKey{1, "a"}, 1));
+  EXPECT_EQ(idx.file_count(), 0u);
+}
+
+TEST(MetadataIndex, SameNameDifferentOwnersCoexist) {
+  MetadataIndex idx;
+  idx.put(meta_of(1, "doc"), 1);
+  idx.put(meta_of(2, "doc"), 2);
+  EXPECT_EQ(idx.file_count(), 2u);
+  EXPECT_TRUE(idx.lookup(FileKey{1, "doc"}).has_value());
+  EXPECT_TRUE(idx.lookup(FileKey{2, "doc"}).has_value());
+}
+
+TEST(MetadataIndex, HoldersTracked) {
+  MetadataIndex idx;
+  idx.put(meta_of(1, "a"), 1);
+  idx.add_holder(FileKey{1, "a"}, 5);
+  idx.add_holder(FileKey{1, "a"}, 6);
+  EXPECT_EQ(idx.replica_count(FileKey{1, "a"}), 3u);
+  idx.remove_holder_everywhere(5);
+  EXPECT_EQ(idx.replica_count(FileKey{1, "a"}), 2u);
+}
+
+TEST(MetadataIndex, SearchByNameSubstringAndOwner) {
+  MetadataIndex idx;
+  idx.put(meta_of(1, "report-2016.pdf"), 1);
+  idx.put(meta_of(1, "photo.jpg"), 1);
+  idx.put(meta_of(2, "report-2017.pdf"), 2);
+  EXPECT_EQ(idx.search("report").size(), 2u);
+  EXPECT_EQ(idx.search("jpg").size(), 1u);
+  EXPECT_EQ(idx.search("2").size(), 2u);  // matches name "2016/2017" substrings
+  EXPECT_EQ(idx.search("nothing").size(), 0u);
+}
+
+TEST(MetadataIndex, ChunkByteArithmetic) {
+  FileMeta m;
+  m.size = 250;
+  m.chunk_size = 100;
+  m.chunk_digests.resize(3);
+  EXPECT_EQ(m.chunk_bytes(0), 100u);
+  EXPECT_EQ(m.chunk_bytes(1), 100u);
+  EXPECT_EQ(m.chunk_bytes(2), 50u);  // short tail
+}
+
+// ---------------------------------------------------------------------------
+// AShare end-to-end
+// ---------------------------------------------------------------------------
+
+struct AShareFixture : ::testing::Test {
+  std::unique_ptr<core::AtumSystem> sys;
+  std::map<NodeId, std::unique_ptr<AShareNode>> nodes;
+
+  void deploy(std::size_t n, std::size_t rho = 3) {
+    sys = std::make_unique<core::AtumSystem>(fast_params(), net::NetworkConfig::datacenter(),
+                                             515);
+    std::vector<NodeId> ids;
+    for (NodeId i = 0; i < n; ++i) {
+      ids.push_back(i);
+      sys->add_node(i);
+    }
+    sys->deploy(ids);
+    for (NodeId i = 0; i < n; ++i) {
+      nodes[i] = std::make_unique<AShareNode>(*sys, i, rho, n);
+    }
+  }
+
+  void run_for(DurationMicros d) { sys->simulator().run_until(sys->simulator().now() + d); }
+};
+
+TEST_F(AShareFixture, PutPropagatesMetadataEverywhere) {
+  deploy(12);
+  nodes[0]->put("movie.bin", blob(1000), 4);
+  run_for(seconds(30));
+  for (auto& [id, n] : nodes) {
+    auto m = n->index().lookup(FileKey{0, "movie.bin"});
+    ASSERT_TRUE(m.has_value()) << "node " << id;
+    EXPECT_EQ(m->size, 1000u);
+    EXPECT_EQ(m->chunk_count(), 4u);
+  }
+}
+
+TEST_F(AShareFixture, GetReturnsExactContent) {
+  deploy(12);
+  Bytes content(2000);
+  for (std::size_t i = 0; i < content.size(); ++i) content[i] = static_cast<std::uint8_t>(i);
+  nodes[0]->put("data.bin", content, 5);
+  run_for(seconds(30));
+
+  Bytes got;
+  GetStats stats;
+  nodes[7]->get(FileKey{0, "data.bin"}, [&](Bytes c, const GetStats& s) {
+    got = std::move(c);
+    stats = s;
+  });
+  run_for(seconds(30));
+  EXPECT_TRUE(stats.ok);
+  EXPECT_EQ(got, content);
+  EXPECT_EQ(stats.corrupt_chunks, 0u);
+}
+
+TEST_F(AShareFixture, RandomizedReplicationReachesRho) {
+  deploy(12, 4);
+  nodes[0]->put("popular.bin", blob(500), 2);
+  run_for(seconds(200));  // feedback loop rounds
+  // Everyone's index converges to >= rho holders.
+  std::size_t holders = nodes[5]->index().replica_count(FileKey{0, "popular.bin"});
+  EXPECT_GE(holders, 4u);
+}
+
+TEST_F(AShareFixture, ReplicationLoopDeactivatesAtRho) {
+  deploy(12, 3);
+  nodes[0]->put("calm.bin", blob(300), 2);
+  run_for(seconds(300));
+  std::size_t holders = nodes[2]->index().replica_count(FileKey{0, "calm.bin"});
+  EXPECT_GE(holders, 3u);
+  EXPECT_LE(holders, 7u);  // the probabilistic loop overshoots a little, not to n
+}
+
+TEST_F(AShareFixture, DeleteRemovesEverywhere) {
+  deploy(12);
+  nodes[0]->put("temp.bin", blob(100), 1);
+  run_for(seconds(30));
+  nodes[0]->del("temp.bin");
+  run_for(seconds(30));
+  for (auto& [id, n] : nodes) {
+    EXPECT_FALSE(n->index().lookup(FileKey{0, "temp.bin"}).has_value()) << "node " << id;
+    EXPECT_FALSE(n->has_replica(FileKey{0, "temp.bin"})) << "node " << id;
+  }
+}
+
+TEST_F(AShareFixture, ForeignDeleteIgnored) {
+  deploy(12);
+  nodes[0]->put("mine.bin", blob(100), 1);
+  run_for(seconds(30));
+  nodes[3]->del("mine.bin");  // deletes node 3's namespace entry, not node 0's
+  run_for(seconds(30));
+  EXPECT_TRUE(nodes[5]->index().lookup(FileKey{0, "mine.bin"}).has_value());
+}
+
+TEST_F(AShareFixture, SearchFindsRemoteFiles) {
+  deploy(12);
+  nodes[0]->put("alpha-report.txt", blob(64), 1);
+  nodes[1]->put("beta-report.txt", blob(64), 1);
+  run_for(seconds(30));
+  auto results = nodes[9]->search("report");
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(nodes[9]->search("alpha").size(), 1u);
+}
+
+TEST_F(AShareFixture, CorruptReplicaDetectedAndRepulled) {
+  deploy(12, 3);
+  Bytes content = blob(1200, 0x42);
+  nodes[0]->put("guarded.bin", content, 4);
+  run_for(seconds(30));
+  // Pin replicas: one honest (node 1), one corrupting (node 2).
+  nodes[1]->force_replicate(FileKey{0, "guarded.bin"});
+  nodes[2]->force_replicate(FileKey{0, "guarded.bin"});
+  run_for(seconds(60));
+  nodes[2]->set_corrupt_replicas(true);
+
+  Bytes got;
+  GetStats stats;
+  nodes[8]->get(FileKey{0, "guarded.bin"}, [&](Bytes c, const GetStats& s) {
+    got = std::move(c);
+    stats = s;
+  });
+  run_for(seconds(60));
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(got, content) << "integrity checks must yield the authentic bytes";
+}
+
+TEST_F(AShareFixture, GetOfUnknownFileFailsCleanly) {
+  deploy(12);
+  bool called = false;
+  GetStats stats;
+  stats.ok = true;
+  nodes[4]->get(FileKey{0, "ghost.bin"}, [&](Bytes, const GetStats& s) {
+    called = true;
+    stats = s;
+  });
+  run_for(seconds(10));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(stats.ok);
+}
+
+TEST_F(AShareFixture, EmptyFileRoundTrips) {
+  deploy(12);
+  nodes[0]->put("empty.bin", {}, 1);
+  run_for(seconds(30));
+  Bytes got{1};  // sentinel
+  GetStats stats;
+  nodes[6]->get(FileKey{0, "empty.bin"}, [&](Bytes c, const GetStats& s) {
+    got = std::move(c);
+    stats = s;
+  });
+  run_for(seconds(30));
+  EXPECT_TRUE(stats.ok);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(AShareFixture, ParallelPullUsesMultipleHolders) {
+  deploy(12, 4);
+  nodes[0]->put("wide.bin", blob(4000), 8);
+  run_for(seconds(30));
+  nodes[1]->force_replicate(FileKey{0, "wide.bin"});
+  nodes[2]->force_replicate(FileKey{0, "wide.bin"});
+  run_for(seconds(60));
+
+  GetStats stats;
+  nodes[9]->get(FileKey{0, "wide.bin"}, [&](Bytes, const GetStats& s) { stats = s; });
+  run_for(seconds(60));
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GE(stats.holders_used, 3u);
+}
+
+}  // namespace
+}  // namespace atum::ashare

@@ -1,0 +1,123 @@
+// Tests for ASub: the pub/sub-to-group-communication mapping (§4.1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/asub/asub.h"
+
+namespace atum::asub {
+namespace {
+
+core::Params fast_params() {
+  core::Params p;
+  p.hc = 3;
+  p.rwl = 4;
+  p.gmax = 8;
+  p.gmin = 4;
+  p.round_duration = millis(20);
+  p.heartbeat_period = seconds(5);
+  return p;
+}
+
+std::string text(const Bytes& b) { return std::string(b.begin(), b.end()); }
+Bytes event(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+struct ASubFixture : ::testing::Test {
+  ASubService svc{fast_params(), net::NetworkConfig::datacenter(), 313};
+  std::map<NodeId, std::vector<std::string>> inbox;
+
+  void watch(Topic& t, NodeId n) {
+    t.set_event_handler(n, [this, n](NodeId, const Bytes& e) { inbox[n].push_back(text(e)); });
+  }
+};
+
+TEST_F(ASubFixture, CreateTopicBootstraps) {
+  Topic& t = svc.create_topic("news", 1);
+  EXPECT_TRUE(t.is_subscribed(1));
+  EXPECT_TRUE(svc.has_topic("news"));
+  EXPECT_EQ(svc.topic_count(), 1u);
+}
+
+TEST_F(ASubFixture, DuplicateTopicRejected) {
+  svc.create_topic("news", 1);
+  EXPECT_THROW(svc.create_topic("news", 2), std::invalid_argument);
+}
+
+TEST_F(ASubFixture, UnknownTopicRejected) {
+  EXPECT_THROW(svc.topic("nope"), std::invalid_argument);
+}
+
+TEST_F(ASubFixture, SubscribersReceivePublishedEvents) {
+  Topic& t = svc.create_topic("sports", 1);
+  watch(t, 1);
+  for (NodeId n = 2; n <= 5; ++n) {
+    watch(t, n);
+    t.subscribe(n);
+    t.settle(seconds(40));
+    ASSERT_TRUE(t.is_subscribed(n)) << "subscriber " << n;
+  }
+  t.publish(1, event("goal!"));
+  t.settle(seconds(20));
+  for (NodeId n = 1; n <= 5; ++n) {
+    ASSERT_EQ(inbox[n].size(), 1u) << "subscriber " << n;
+    EXPECT_EQ(inbox[n][0], "goal!");
+  }
+}
+
+TEST_F(ASubFixture, AnySubscriberCanPublish) {
+  Topic& t = svc.create_topic("chat", 1);
+  watch(t, 1);
+  watch(t, 2);
+  t.subscribe(2);
+  t.settle(seconds(40));
+  t.publish(2, event("hi from 2"));
+  t.settle(seconds(20));
+  ASSERT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[1][0], "hi from 2");
+}
+
+TEST_F(ASubFixture, UnsubscribedNodeStopsReceiving) {
+  Topic& t = svc.create_topic("spam", 1);
+  watch(t, 1);
+  watch(t, 2);
+  watch(t, 3);
+  t.subscribe(2);
+  t.settle(seconds(40));
+  t.subscribe(3);
+  t.settle(seconds(40));
+  t.unsubscribe(3);
+  t.settle(seconds(30));
+  t.publish(1, event("after-unsub"));
+  t.settle(seconds(20));
+  EXPECT_EQ(inbox[2].size(), 1u);
+  EXPECT_TRUE(inbox[3].empty());
+}
+
+TEST_F(ASubFixture, TopicsAreIsolated) {
+  Topic& a = svc.create_topic("alpha", 1);
+  Topic& b = svc.create_topic("beta", 1);
+  watch(a, 1);
+  watch(b, 1);
+  a.publish(1, event("only-alpha"));
+  a.settle(seconds(10));
+  b.settle(seconds(10));
+  ASSERT_EQ(inbox[1].size(), 1u);
+  EXPECT_EQ(inbox[1][0], "only-alpha");
+}
+
+TEST_F(ASubFixture, ManyEventsInOrderPerPublisher) {
+  Topic& t = svc.create_topic("feed", 1);
+  watch(t, 2);
+  t.subscribe(2);
+  t.settle(seconds(40));
+  for (int i = 0; i < 5; ++i) {
+    t.publish(1, event("e" + std::to_string(i)));
+    t.settle(seconds(10));
+  }
+  ASSERT_EQ(inbox[2].size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(inbox[2][static_cast<std::size_t>(i)], "e" + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace atum::asub

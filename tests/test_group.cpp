@@ -1,0 +1,355 @@
+// Tests for the group layer: replicated vgroup state, op encodings, and the
+// vgroup-granularity cluster simulator (growth, churn, shuffling, split,
+// merge, exchange suppression, fault dispersal).
+#include <gtest/gtest.h>
+
+#include "group/cluster_sim.h"
+#include "group/vgroup_state.h"
+#include "sim/simulator.h"
+
+namespace atum::group {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VGroupState
+// ---------------------------------------------------------------------------
+
+TEST(VGroupState, MembersSortedAndQueried) {
+  VGroupState s(9, {5, 1, 3}, 2);
+  EXPECT_EQ(s.members(), (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_TRUE(s.has_member(3));
+  EXPECT_FALSE(s.has_member(4));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.cycle_count(), 2u);
+}
+
+TEST(VGroupState, NeighborRefsSkipSelfAndDuplicates) {
+  VGroupState s(1, {10}, 2);
+  s.set_successor(0, GroupView{2, {20}});
+  s.set_predecessor(0, GroupView{3, {30}});
+  s.set_successor(1, GroupView{2, {20}});
+  s.set_predecessor(1, GroupView{2, {20}});  // same group both directions
+  auto refs = s.neighbor_refs();
+  // cycle0: 2 and 3; cycle1: successor 2 only (pred==succ collapses).
+  EXPECT_EQ(refs.size(), 3u);
+}
+
+TEST(VGroupState, SelfNeighborBootstrapHasNoRefs) {
+  VGroupState s(1, {10}, 3);
+  GroupView self{1, {10}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    s.set_successor(c, self);
+    s.set_predecessor(c, self);
+  }
+  EXPECT_TRUE(s.neighbor_refs().empty());
+}
+
+TEST(VGroupState, RefreshNeighborUpdatesAllSlots) {
+  VGroupState s(1, {10}, 2);
+  s.set_successor(0, GroupView{2, {20}});
+  s.set_predecessor(1, GroupView{2, {20}});
+  s.refresh_neighbor(GroupView{2, {20, 21}});
+  EXPECT_EQ(s.cycle(0).successor.members.size(), 2u);
+  EXPECT_EQ(s.cycle(1).predecessor.members.size(), 2u);
+}
+
+TEST(VGroupState, FindGroupSeesSelfAndNeighbors) {
+  VGroupState s(1, {10, 11}, 1);
+  s.set_successor(0, GroupView{2, {20}});
+  s.set_predecessor(0, GroupView{3, {30}});
+  EXPECT_TRUE(s.find_group(1).has_value());
+  EXPECT_TRUE(s.find_group(2).has_value());
+  EXPECT_TRUE(s.find_group(3).has_value());
+  EXPECT_FALSE(s.find_group(99).has_value());
+  EXPECT_EQ(s.known_groups().size(), 3u);
+}
+
+TEST(VGroupOps, BroadcastRoundTrip) {
+  BroadcastOp op;
+  op.bcast = BroadcastId{7, 3};
+  op.payload = Bytes{1, 2, 3};
+  auto d = decode_op(op.encode());
+  EXPECT_EQ(d.kind, OpKind::kBroadcast);
+  EXPECT_EQ(d.broadcast.bcast, (BroadcastId{7, 3}));
+  EXPECT_EQ(d.broadcast.payload, (Bytes{1, 2, 3}));
+}
+
+TEST(VGroupOps, SuspectRoundTrip) {
+  SuspectOp op;
+  op.suspect = 42;
+  auto d = decode_op(op.encode());
+  EXPECT_EQ(d.kind, OpKind::kSuspect);
+  EXPECT_EQ(d.suspect.suspect, 42u);
+}
+
+TEST(VGroupOps, StartWalkRoundTrip) {
+  StartWalkOp op;
+  op.purpose = 1;
+  op.nonce = 99;
+  op.payload = Bytes{5};
+  auto d = decode_op(op.encode());
+  EXPECT_EQ(d.kind, OpKind::kStartWalk);
+  EXPECT_EQ(d.walk.nonce, 99u);
+}
+
+TEST(VGroupOps, GarbageRejected) {
+  EXPECT_THROW(decode_op(Bytes{0xFF, 0x00}), SerdeError);
+  EXPECT_THROW(decode_op(Bytes{}), SerdeError);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim
+// ---------------------------------------------------------------------------
+
+ClusterSimConfig fast_config() {
+  ClusterSimConfig c;
+  c.hc = 3;
+  c.rwl = 5;
+  c.gmin = 4;
+  c.gmax = 8;
+  c.kind = smr::EngineKind::kSync;
+  c.round_duration = millis(10);  // fast rounds keep tests quick
+  return c;
+}
+
+struct SimFixture : ::testing::Test {
+  sim::Simulator sim;
+
+  // Grows a cluster to `n` nodes, driving joins in waves.
+  std::unique_ptr<ClusterSim> grow(std::size_t n, ClusterSimConfig cfg) {
+    auto cs = std::make_unique<ClusterSim>(sim, cfg);
+    cs->bootstrap(0);
+    for (NodeId node = 1; node < n; ++node) {
+      cs->request_join(node);
+      sim.run_until(sim.now() + millis(40));
+    }
+    sim.run_until(sim.now() + seconds(60));
+    return cs;
+  }
+};
+
+TEST_F(SimFixture, BootstrapSingleton) {
+  ClusterSim cs(sim, fast_config());
+  cs.bootstrap(7);
+  EXPECT_EQ(cs.node_count(), 1u);
+  EXPECT_EQ(cs.group_count(), 1u);
+  EXPECT_EQ(cs.group_of(7), cs.graph().vertices()[0]);
+  EXPECT_TRUE(cs.check_invariants());
+}
+
+TEST_F(SimFixture, JoinsGrowTheSystem) {
+  auto cs = grow(30, fast_config());
+  EXPECT_EQ(cs->node_count(), 30u);
+  EXPECT_EQ(cs->stats().joins_completed, 29u);
+  std::string why;
+  EXPECT_TRUE(cs->check_invariants(&why)) << why;
+}
+
+TEST_F(SimFixture, GroupsSplitAsSystemGrows) {
+  auto cs = grow(60, fast_config());
+  EXPECT_GT(cs->group_count(), 1u);
+  EXPECT_GT(cs->stats().splits, 0u);
+  // Every group within bounds once the dust settles.
+  for (GroupId g : cs->graph().vertices()) {
+    auto m = cs->members_of(g);
+    EXPECT_LE(m.size(), fast_config().gmax + 1);  // +1: a join may be settling
+  }
+}
+
+TEST_F(SimFixture, LeavesShrinkAndMerge) {
+  auto cs = grow(40, fast_config());
+  std::size_t groups_before = cs->group_count();
+  for (NodeId n = 1; n < 30; ++n) {
+    if (cs->group_of(n).has_value()) {
+      cs->request_leave(n);
+      sim.run_until(sim.now() + millis(60));
+    }
+  }
+  sim.run_until(sim.now() + seconds(120));
+  EXPECT_LT(cs->node_count(), 40u - 25u + 5u);
+  EXPECT_LE(cs->group_count(), groups_before);
+  EXPECT_GT(cs->stats().merges, 0u);
+  std::string why;
+  EXPECT_TRUE(cs->check_invariants(&why)) << why;
+}
+
+TEST_F(SimFixture, ShufflingExchangesMembers) {
+  auto cs = grow(40, fast_config());
+  EXPECT_GT(cs->stats().exchanges_attempted, 0u);
+  EXPECT_GT(cs->stats().exchanges_completed, 0u);
+}
+
+TEST_F(SimFixture, ShuffleDisabledMeansNoExchanges) {
+  auto cfg = fast_config();
+  cfg.shuffle_enabled = false;
+  auto cs = grow(30, cfg);
+  EXPECT_EQ(cs->stats().exchanges_attempted, 0u);
+  EXPECT_EQ(cs->node_count(), 30u);
+}
+
+TEST_F(SimFixture, FasterJoinRateSuppressesMoreExchanges) {
+  // Figure 13's effect: concurrent shuffles suppress exchanges.
+  auto run_at_rate = [&](DurationMicros gap) {
+    sim::Simulator local;
+    ClusterSim cs(local, fast_config());
+    cs.bootstrap(0);
+    for (NodeId n = 1; n < 80; ++n) {
+      cs.request_join(n);
+      local.run_until(local.now() + gap);
+    }
+    local.run_until(local.now() + seconds(120));
+    const auto& st = cs.stats();
+    return st.exchanges_attempted == 0
+               ? 0.0
+               : static_cast<double>(st.exchanges_suppressed) /
+                     static_cast<double>(st.exchanges_attempted);
+  };
+  double slow = run_at_rate(millis(200));
+  double fast = run_at_rate(millis(5));
+  EXPECT_GT(fast, slow);
+}
+
+TEST_F(SimFixture, ChurnPreservesInvariants) {
+  auto cfg = fast_config();
+  auto cs = grow(50, cfg);
+  Rng rng(17);
+  // 200 random churn events.
+  NodeId next_id = 1000;
+  for (int i = 0; i < 200; ++i) {
+    if (rng.chance(0.5) && cs->node_count() > 20) {
+      // leave a random live node
+      auto ids = cs->graph().vertices();
+      GroupId g = ids[static_cast<std::size_t>(rng.next_below(ids.size()))];
+      auto members = cs->members_of(g);
+      if (!members.empty()) {
+        cs->request_leave(members[static_cast<std::size_t>(rng.next_below(members.size()))]);
+      }
+    } else {
+      cs->request_join(next_id++);
+    }
+    sim.run_until(sim.now() + millis(30));
+  }
+  sim.run_until(sim.now() + seconds(300));
+  std::string why;
+  EXPECT_TRUE(cs->check_invariants(&why)) << why;
+  EXPECT_GT(cs->node_count(), 20u);
+}
+
+TEST_F(SimFixture, ByzantineNodesStayDispersed) {
+  auto cfg = fast_config();
+  cfg.seed = 999;
+  auto cs = std::make_unique<ClusterSim>(sim, cfg);
+  cs->bootstrap(0);
+  Rng rng(55);
+  // 6% Byzantine joiners, as in §6.1.3.
+  for (NodeId n = 1; n < 150; ++n) {
+    cs->request_join(n);
+    if (rng.chance(0.06)) cs->mark_byzantine(n);
+    sim.run_until(sim.now() + millis(25));
+  }
+  sim.run_until(sim.now() + seconds(120));
+  auto report = cs->robustness_report();
+  std::size_t robust = 0;
+  for (const auto& r : report) robust += r.robust();
+  // Shuffling must keep virtually all vgroups robust.
+  EXPECT_GE(static_cast<double>(robust) / static_cast<double>(report.size()), 0.9);
+}
+
+TEST_F(SimFixture, AsyncAgreementIsCheaperThanSync) {
+  ClusterSimConfig sync_cfg = fast_config();
+  ClusterSimConfig async_cfg = fast_config();
+  async_cfg.kind = smr::EngineKind::kAsync;
+  ClusterSim a(sim, sync_cfg), b(sim, async_cfg);
+  EXPECT_GT(a.agreement_latency(10), b.agreement_latency(10));
+  EXPECT_GT(a.hop_latency(), b.hop_latency());
+}
+
+TEST_F(SimFixture, AgreementLatencyGrowsWithGroupSizeInSync) {
+  ClusterSim cs(sim, fast_config());
+  EXPECT_LT(cs.agreement_latency(5), cs.agreement_latency(21));
+}
+
+TEST_F(SimFixture, InvalidConfigRejected) {
+  auto cfg = fast_config();
+  cfg.gmin = cfg.gmax;
+  EXPECT_THROW(ClusterSim(sim, cfg), std::invalid_argument);
+}
+
+TEST_F(SimFixture, DoubleBootstrapRejected) {
+  ClusterSim cs(sim, fast_config());
+  cs.bootstrap(1);
+  EXPECT_THROW(cs.bootstrap(2), std::logic_error);
+}
+
+TEST_F(SimFixture, DuplicateJoinRejected) {
+  ClusterSim cs(sim, fast_config());
+  cs.bootstrap(1);
+  cs.request_join(2);
+  sim.run_until(seconds(30));
+  EXPECT_THROW(cs.request_join(2), std::invalid_argument);
+}
+
+TEST_F(SimFixture, UnknownLeaveRejected) {
+  ClusterSim cs(sim, fast_config());
+  cs.bootstrap(1);
+  EXPECT_THROW(cs.request_leave(99), std::invalid_argument);
+}
+
+// Parameterized churn sweep across engine kinds and walk lengths.
+struct ChurnParam {
+  smr::EngineKind kind;
+  std::size_t rwl;
+};
+
+class ClusterChurnSweep : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(ClusterChurnSweep, SurvivesSustainedChurn) {
+  auto p = GetParam();
+  sim::Simulator sim;
+  ClusterSimConfig cfg;
+  cfg.hc = 4;
+  cfg.rwl = p.rwl;
+  cfg.gmin = 4;
+  cfg.gmax = 8;
+  cfg.kind = p.kind;
+  cfg.round_duration = millis(10);
+  cfg.net_rtt = millis(2);
+  ClusterSim cs(sim, cfg);
+  cs.bootstrap(0);
+  for (NodeId n = 1; n < 40; ++n) {
+    cs.request_join(n);
+    sim.run_until(sim.now() + millis(30));
+  }
+  sim.run_until(sim.now() + seconds(60));
+
+  NodeId next = 100;
+  Rng rng(p.rwl * 31 + 7);
+  for (int round = 0; round < 60; ++round) {
+    auto verts = cs.graph().vertices();
+    GroupId g = verts[static_cast<std::size_t>(rng.next_below(verts.size()))];
+    auto members = cs.members_of(g);
+    if (!members.empty() && cs.node_count() > 25) {
+      cs.request_leave(members[0]);
+    }
+    cs.request_join(next++);
+    sim.run_until(sim.now() + millis(50));
+  }
+  sim.run_until(sim.now() + seconds(300));
+  std::string why;
+  EXPECT_TRUE(cs.check_invariants(&why)) << why;
+  EXPECT_GE(cs.node_count(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ClusterChurnSweep,
+    ::testing::Values(ChurnParam{smr::EngineKind::kSync, 5},
+                      ChurnParam{smr::EngineKind::kSync, 11},
+                      ChurnParam{smr::EngineKind::kAsync, 5},
+                      ChurnParam{smr::EngineKind::kAsync, 11}),
+    [](const ::testing::TestParamInfo<ChurnParam>& info) {
+      return std::string(info.param.kind == smr::EngineKind::kSync ? "Sync" : "Async") + "Rwl" +
+             std::to_string(info.param.rwl);
+    });
+
+}  // namespace
+}  // namespace atum::group

@@ -1,0 +1,246 @@
+// Tests for the simulated network: delivery, latency/bandwidth modelling,
+// drops, partitions, typed routing, and the WAN region matrix.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace atum::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  NetworkConfig cfg = NetworkConfig::datacenter();
+
+  std::unique_ptr<SimNetwork> make(NetworkConfig c) {
+    return std::make_unique<SimNetwork>(sim, c, 1234);
+  }
+};
+
+TEST_F(NetFixture, DeliversToAttachedHandler) {
+  auto net = make(cfg);
+  std::vector<Bytes> got;
+  net->attach(2, [&](const Message& m) { got.push_back(m.payload); });
+  net->send(Message{1, 2, MsgType::kAppData, Bytes{42}});
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Bytes{42});
+}
+
+TEST_F(NetFixture, DeliveryTakesLatency) {
+  cfg.jitter_mean = 0;
+  auto net = make(cfg);
+  TimeMicros arrival = -1;
+  net->attach(2, [&](const Message&) { arrival = sim.now(); });
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_GE(arrival, cfg.base_latency);
+}
+
+TEST_F(NetFixture, UnattachedTargetCountsBlocked) {
+  auto net = make(cfg);
+  net->send(Message{1, 99, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(net->stats().messages_blocked, 1u);
+  EXPECT_EQ(net->stats().messages_delivered, 0u);
+}
+
+TEST_F(NetFixture, DropProbabilityOneDropsEverything) {
+  cfg.drop_probability = 1.0;
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(2, [&](const Message&) { ++got; });
+  for (int i = 0; i < 20; ++i) net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net->stats().messages_dropped, 20u);
+}
+
+TEST_F(NetFixture, DropProbabilityHalfDropsAboutHalf) {
+  cfg.drop_probability = 0.5;
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(2, [&](const Message&) { ++got; });
+  for (int i = 0; i < 2000; ++i) net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_NEAR(got, 1000, 100);
+}
+
+TEST_F(NetFixture, IsolationBlocksBothDirections) {
+  auto net = make(cfg);
+  int got1 = 0, got2 = 0;
+  net->attach(1, [&](const Message&) { ++got1; });
+  net->attach(2, [&](const Message&) { ++got2; });
+  net->isolate(2, true);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  net->send(Message{2, 1, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 0);
+  net->isolate(2, false);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got2, 1);
+}
+
+TEST_F(NetFixture, LinkBlockIsBidirectionalAndReversible) {
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(1, [&](const Message&) { ++got; });
+  net->attach(2, [&](const Message&) { ++got; });
+  net->block_link(1, 2, true);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  net->send(Message{2, 1, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, 0);
+  net->block_link(1, 2, false);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, PartitionAppliedAtDeliveryTime) {
+  // A message in flight when the partition forms is lost (models TCP reset).
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(2, [&](const Message&) { ++got; });
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  net->isolate(2, true);  // before the event fires
+  sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetFixture, BandwidthSerializesLargeTransfers) {
+  cfg.jitter_mean = 0;
+  cfg.egress_bytes_per_sec = 1e6;  // 1 MB/s
+  cfg.ingress_bytes_per_sec = 1e6;
+  auto net = make(cfg);
+  TimeMicros arrival = -1;
+  net->attach(2, [&](const Message&) { arrival = sim.now(); });
+  net->send(Message{1, 2, MsgType::kAppData, Bytes(1'000'000, 0)});  // 1 MB
+  sim.run();
+  // ~1 s egress + ~1 s ingress serialization at 1 MB/s.
+  EXPECT_GE(arrival, 2 * kMicrosPerSecond);
+  EXPECT_LE(arrival, 2 * kMicrosPerSecond + millis(50));
+}
+
+TEST_F(NetFixture, BackToBackMessagesQueueOnEgress) {
+  cfg.jitter_mean = 0;
+  cfg.egress_bytes_per_sec = 1e6;
+  cfg.ingress_bytes_per_sec = 1e9;  // receiver not the bottleneck
+  auto net = make(cfg);
+  std::vector<TimeMicros> arrivals;
+  net->attach(2, [&](const Message&) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) net->send(Message{1, 2, MsgType::kAppData, Bytes(100'000, 0)});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Each 100 KB message takes ~0.1 s of egress; arrivals must be spaced.
+  EXPECT_GE(arrivals[1] - arrivals[0], millis(90));
+  EXPECT_GE(arrivals[2] - arrivals[1], millis(90));
+}
+
+TEST_F(NetFixture, StatsCountersAreConsistent) {
+  auto net = make(cfg);
+  net->attach(2, [](const Message&) {});
+  for (int i = 0; i < 5; ++i) net->send(Message{1, 2, MsgType::kAppData, {}});
+  net->send(Message{1, 3, MsgType::kAppData, {}});  // unattached
+  sim.run();
+  const auto& st = net->stats();
+  EXPECT_EQ(st.messages_sent, 6u);
+  EXPECT_EQ(st.messages_delivered, 5u);
+  EXPECT_EQ(st.messages_blocked, 1u);
+  EXPECT_GT(st.bytes_sent, 0u);
+}
+
+TEST_F(NetFixture, TypedHandlerTakesPrecedence) {
+  auto net = make(cfg);
+  int typed = 0, fallback = 0;
+  net->attach(2, [&](const Message&) { ++fallback; });
+  net->attach(2, MsgType::kHeartbeat, [&](const Message&) { ++typed; });
+  net->send(Message{1, 2, MsgType::kHeartbeat, {}});
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(typed, 1);
+  EXPECT_EQ(fallback, 1);
+}
+
+TEST_F(NetFixture, DetachTypeKeepsFallback) {
+  auto net = make(cfg);
+  int typed = 0, fallback = 0;
+  net->attach(2, [&](const Message&) { ++fallback; });
+  net->attach(2, MsgType::kHeartbeat, [&](const Message&) { ++typed; });
+  net->detach(2, MsgType::kHeartbeat);
+  net->send(Message{1, 2, MsgType::kHeartbeat, {}});
+  sim.run();
+  EXPECT_EQ(typed, 0);
+  EXPECT_EQ(fallback, 1);
+}
+
+TEST_F(NetFixture, TransportClosesOnlyOwnRegistrations) {
+  auto net = make(cfg);
+  int smr = 0, app = 0;
+  Transport t1(*net, 5), t2(*net, 5);
+  t1.listen({MsgType::kDsBroadcast}, [&](const Message&) { ++smr; });
+  t2.listen({MsgType::kAppData}, [&](const Message&) { ++app; });
+  t1.close();
+  net->send(Message{1, 5, MsgType::kDsBroadcast, {}});
+  net->send(Message{1, 5, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(smr, 0);
+  EXPECT_EQ(app, 1);
+}
+
+TEST_F(NetFixture, WanLatencyFollowsRegionMatrix) {
+  auto wan_cfg = NetworkConfig::wide_area();
+  wan_cfg.jitter_mean = 0;
+  auto net = make(wan_cfg);
+  // Node ids map to regions by id % 8: nodes 0 and 1 are eu-west/eu-central
+  // (12 ms), nodes 0 and 6 are eu-west/ap-sydney (140 ms).
+  TimeMicros near_arrival = -1, far_arrival = -1;
+  net->attach(1, [&](const Message&) { near_arrival = sim.now(); });
+  net->attach(6, [&](const Message&) { far_arrival = sim.now(); });
+  net->send(Message{0, 1, MsgType::kAppData, {}});
+  sim.run();
+  TimeMicros near_latency = near_arrival;  // sent at t=0
+  TimeMicros far_sent = sim.now();
+  net->send(Message{0, 6, MsgType::kAppData, {}});
+  sim.run();
+  TimeMicros far_latency = far_arrival - far_sent;
+  EXPECT_GE(near_latency, millis(12));
+  EXPECT_LT(near_latency, millis(20));
+  EXPECT_GE(far_latency, millis(140));
+  EXPECT_LT(far_latency, millis(150));
+}
+
+TEST_F(NetFixture, SelfSendIsDelivered) {
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(1, [&](const Message&) { ++got; });
+  net->send(Message{1, 1, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetFixture, WireSizeIncludesOverhead) {
+  Message m{1, 2, MsgType::kAppData, Bytes(100, 0)};
+  EXPECT_EQ(m.wire_size(), 100 + Message::kHeaderOverhead);
+}
+
+TEST_F(NetFixture, JitterVariesLatency) {
+  cfg.jitter_mean = 1000;
+  auto net = make(cfg);
+  std::vector<TimeMicros> arrivals;
+  net->attach(2, [&](const Message&) { arrivals.push_back(sim.now()); });
+  // Use distinct senders so egress queuing does not mask jitter.
+  for (NodeId n = 10; n < 40; ++n) net->send(Message{n, 2, MsgType::kAppData, {}});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 30u);
+  bool all_same = std::all_of(arrivals.begin(), arrivals.end(),
+                              [&](TimeMicros t) { return t == arrivals[0]; });
+  EXPECT_FALSE(all_same);
+}
+
+}  // namespace
+}  // namespace atum::net

@@ -1,0 +1,483 @@
+// Tests for the overlay layer: H-graph structure, group-message acceptance
+// (majority vouching + digest optimization), random walks (bulk RNG,
+// certificate chains, uniformity), and gossip policies.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "overlay/gossip.h"
+#include "overlay/group_message.h"
+#include "overlay/hgraph.h"
+#include "overlay/random_walk.h"
+#include "sim/simulator.h"
+
+namespace atum::overlay {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HGraph
+// ---------------------------------------------------------------------------
+
+TEST(HGraph, BootstrapSingleVertex) {
+  HGraph g(3);
+  g.add_first(7);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.contains(7));
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(g.successor(c, 7), 7u);
+    EXPECT_EQ(g.predecessor(c, 7), 7u);
+  }
+  EXPECT_TRUE(g.validate());
+  EXPECT_TRUE(g.neighbors(7).empty());
+}
+
+TEST(HGraph, InsertAfterMaintainsRing) {
+  HGraph g(1);
+  g.add_first(0);
+  g.insert_after(0, 0, 1);
+  g.insert_after(0, 1, 2);
+  EXPECT_EQ(g.successor(0, 0), 1u);
+  EXPECT_EQ(g.successor(0, 1), 2u);
+  EXPECT_EQ(g.successor(0, 2), 0u);
+  EXPECT_EQ(g.predecessor(0, 0), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(HGraph, InsertRandomKeepsAllCyclesValid) {
+  Rng rng(5);
+  HGraph g(4);
+  for (GroupId v = 0; v < 100; ++v) {
+    if (v == 0) {
+      g.add_first(v);
+    } else {
+      g.insert_random(v, rng);
+    }
+  }
+  EXPECT_EQ(g.size(), 100u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(HGraph, RemoveBridgesTheGap) {
+  Rng rng(6);
+  HGraph g(2);
+  for (GroupId v = 0; v < 10; ++v) {
+    if (v == 0) {
+      g.add_first(v);
+    } else {
+      g.insert_random(v, rng);
+    }
+  }
+  GroupId pred = g.predecessor(0, 5), succ = g.successor(0, 5);
+  g.remove(5);
+  EXPECT_FALSE(g.contains(5));
+  if (pred != 5 && succ != 5) {
+    EXPECT_EQ(g.successor(0, pred), succ);
+  }
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(HGraph, RemoveDownToOneVertex) {
+  Rng rng(7);
+  HGraph g(3);
+  g.add_first(0);
+  g.insert_random(1, rng);
+  g.insert_random(2, rng);
+  g.remove(1);
+  g.remove(2);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.successor(0, 0), 0u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(HGraph, ConstantDegree) {
+  Rng rng(8);
+  HGraph g(5);
+  for (GroupId v = 0; v < 64; ++v) {
+    if (v == 0) {
+      g.add_first(v);
+    } else {
+      g.insert_random(v, rng);
+    }
+  }
+  for (GroupId v = 0; v < 64; ++v) {
+    EXPECT_EQ(g.links(v).size(), 10u);           // 2 per cycle
+    EXPECT_LE(g.neighbors(v).size(), 10u);        // distinct neighbors
+    EXPECT_GE(g.neighbors(v).size(), 1u);
+  }
+}
+
+TEST(HGraph, ErrorsOnUnknownVertices) {
+  HGraph g(2);
+  g.add_first(1);
+  EXPECT_THROW(g.successor(0, 99), std::invalid_argument);
+  EXPECT_THROW(g.remove(99), std::invalid_argument);
+  EXPECT_THROW(g.insert_after(0, 99, 5), std::invalid_argument);
+  EXPECT_THROW(g.insert_after(0, 1, 1), std::invalid_argument);  // duplicate
+}
+
+TEST(HGraph, ZeroCyclesRejected) { EXPECT_THROW(HGraph(0), std::invalid_argument); }
+
+// ---------------------------------------------------------------------------
+// Group messages
+// ---------------------------------------------------------------------------
+
+struct GmFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::SimNetwork net{sim, net::NetworkConfig::datacenter(), 77};
+  Rng rng{11};
+  std::vector<NodeId> group_a{1, 2, 3, 4, 5};  // sending vgroup
+  NodeId receiver = 100;
+  std::vector<std::pair<GroupMessageId, Bytes>> delivered;
+  std::unique_ptr<GroupMessageReceiver> rx;
+
+  void make_receiver(std::size_t claimed_size = 5) {
+    rx = std::make_unique<GroupMessageReceiver>(
+        net::Transport(net, receiver),
+        [this](const GroupMessageId& id, NodeId, const Bytes& p) {
+          delivered.emplace_back(id, p);
+        });
+    rx->set_group_size_fn([claimed_size](GroupId g) -> std::optional<std::size_t> {
+      if (g == 50) return claimed_size;
+      return std::nullopt;
+    });
+  }
+
+  void send_from_all(const Bytes& payload, const std::vector<NodeId>& senders) {
+    for (NodeId s : senders) {
+      net::Transport t(net, s);
+      send_group_message(t, group_a, GroupMessageId{50, 9}, {receiver}, payload, rng);
+    }
+  }
+};
+
+TEST_F(GmFixture, AcceptsWithAllSendersCorrect) {
+  make_receiver();
+  send_from_all(Bytes{0xAA}, group_a);
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].second, Bytes{0xAA});
+  EXPECT_EQ(delivered[0].first.from_group, 50u);
+}
+
+TEST_F(GmFixture, AcceptsWithExactMajority) {
+  make_receiver();
+  send_from_all(Bytes{0xBB}, {1, 2, 3});  // 3 of 5 = majority
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(GmFixture, RejectsBelowMajority) {
+  make_receiver();
+  send_from_all(Bytes{0xCC}, {1, 2});  // 2 of 5 < majority
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+}
+
+TEST_F(GmFixture, DeliversExactlyOnceOnDuplicates) {
+  make_receiver();
+  send_from_all(Bytes{0xDD}, group_a);
+  sim.run();
+  send_from_all(Bytes{0xDD}, group_a);  // same id resent
+  sim.run();
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(GmFixture, DigestOptimizationOnlyMajoritySendsFull) {
+  make_receiver();
+  // Count wire message types: ranks 0..2 (of 5) send full, ranks 3..4 digest.
+  std::uint64_t full = 0, digest = 0;
+  net.attach(receiver, net::MsgType::kGroupMsgFull,
+             [&](const net::Message&) { ++full; });
+  net.attach(receiver, net::MsgType::kGroupMsgDigest,
+             [&](const net::Message&) { ++digest; });
+  send_from_all(Bytes{0xEE}, group_a);
+  sim.run();
+  EXPECT_EQ(full, 3u);
+  EXPECT_EQ(digest, 2u);
+}
+
+TEST_F(GmFixture, ByzantineMinorityCannotForgeContent) {
+  make_receiver();
+  // Two Byzantine senders push a corrupted payload; three correct ones the
+  // real payload. Only the real one is ever delivered.
+  send_from_all(Bytes{0x01}, {1, 2});    // liars
+  send_from_all(Bytes{0x02}, {3, 4, 5}); // truth-tellers (majority)
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].second, Bytes{0x02});
+}
+
+TEST_F(GmFixture, UnknownGroupBuffersUntilReevaluate) {
+  make_receiver();
+  std::size_t known_size = 0;  // group unknown initially
+  rx->set_group_size_fn([&known_size](GroupId) -> std::optional<std::size_t> {
+    if (known_size == 0) return std::nullopt;
+    return known_size;
+  });
+  send_from_all(Bytes{0x77}, group_a);
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_GT(rx->pending_count(), 0u);
+  known_size = 5;  // composition learned via a neighbor update
+  rx->reevaluate();
+  ASSERT_EQ(delivered.size(), 1u);
+}
+
+TEST_F(GmFixture, MembershipFilterDropsOutsiders) {
+  make_receiver();
+  rx->set_membership_fn([this](GroupId g, NodeId n) {
+    return g == 50 && std::find(group_a.begin(), group_a.end(), n) != group_a.end();
+  });
+  // Five outsiders flood identical content; must not be accepted.
+  send_from_all(Bytes{0x99}, {200, 201, 202, 203, 204});
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  // Genuine members still get through.
+  send_from_all(Bytes{0x98}, group_a);
+  sim.run();
+  EXPECT_EQ(delivered.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Random walks
+// ---------------------------------------------------------------------------
+
+TEST(WalkState, StartMintsBulkRandomness) {
+  Rng rng(3);
+  auto w = WalkState::start(WalkId{5, 9}, WalkPurpose::kSample, 12, Bytes{1}, rng);
+  EXPECT_EQ(w.randomness.size(), 12u);
+  EXPECT_EQ(w.step, 0u);
+  EXPECT_FALSE(w.done());
+  EXPECT_EQ(w.path, std::vector<GroupId>{5});
+}
+
+TEST(WalkState, EncodeDecodeRoundTrip) {
+  Rng rng(4);
+  auto w = WalkState::start(WalkId{1, 2}, WalkPurpose::kJoinPlacement, 7, Bytes{9, 8}, rng);
+  w.step = 3;
+  w.path = {1, 4, 6};
+  auto d = WalkState::decode(w.encode());
+  EXPECT_EQ(d.id, w.id);
+  EXPECT_EQ(d.purpose, WalkPurpose::kJoinPlacement);
+  EXPECT_EQ(d.rwl, 7u);
+  EXPECT_EQ(d.step, 3u);
+  EXPECT_EQ(d.randomness, w.randomness);
+  EXPECT_EQ(d.payload, w.payload);
+  EXPECT_EQ(d.path, w.path);
+}
+
+TEST(WalkState, DecodeRejectsCorruptStates) {
+  Rng rng(5);
+  auto w = WalkState::start(WalkId{1, 2}, WalkPurpose::kSample, 5, {}, rng);
+  Bytes wire = w.encode();
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(WalkState::decode(wire), SerdeError);
+}
+
+TEST(WalkState, PickLinkIsDeterministic) {
+  Rng rng(6);
+  auto w = WalkState::start(WalkId{1, 1}, WalkPurpose::kSample, 4, {}, rng);
+  EXPECT_EQ(w.pick_link(10), w.pick_link(10));
+  w.step = 1;
+  // Different step uses a different pre-minted number (almost surely
+  // different index for a large modulus).
+  EXPECT_EQ(w.pick_link(1), 0u);
+}
+
+TEST(WalkState, ExhaustedWalkThrows) {
+  Rng rng(7);
+  auto w = WalkState::start(WalkId{1, 1}, WalkPurpose::kSample, 2, {}, rng);
+  w.step = 2;
+  EXPECT_TRUE(w.done());
+  EXPECT_THROW(w.pick_link(3), std::logic_error);
+}
+
+struct CertFixture : ::testing::Test {
+  crypto::KeyStore keys{42};
+  WalkId id{10, 77};
+  std::map<GroupId, std::vector<NodeId>> groups{
+      {10, {1, 2, 3}}, {11, {4, 5, 6}}, {12, {7, 8, 9}}};
+
+  HopCert make_cert(GroupId g, GroupId next, std::uint32_t step, std::size_t signer_count) {
+    HopCert h;
+    h.group = g;
+    h.next_group = next;
+    h.step = step;
+    for (std::size_t i = 0; i < signer_count; ++i) {
+      NodeId n = groups[g][i];
+      h.sigs.emplace_back(n, sign_hop(id, step, g, next, keys.key_of(n)));
+    }
+    return h;
+  }
+
+  auto members_fn() {
+    return [this](GroupId g) -> std::optional<std::vector<NodeId>> {
+      auto it = groups.find(g);
+      if (it == groups.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+};
+
+TEST_F(CertFixture, ValidChainVerifies) {
+  CertChain c;
+  c.hops.push_back(make_cert(10, 11, 0, 2));
+  c.hops.push_back(make_cert(11, 12, 1, 2));
+  auto selected = c.verify(id, 10, members_fn(), keys);
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_EQ(*selected, 12u);
+}
+
+TEST_F(CertFixture, ChainRoundTripsThroughWire) {
+  CertChain c;
+  c.hops.push_back(make_cert(10, 11, 0, 2));
+  auto decoded = CertChain::decode(c.encode());
+  EXPECT_EQ(decoded.hops.size(), 1u);
+  EXPECT_TRUE(decoded.verify(id, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, RejectsInsufficientSigners) {
+  CertChain c;
+  c.hops.push_back(make_cert(10, 11, 0, 1));  // 1 of 3 < majority
+  EXPECT_FALSE(c.verify(id, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, RejectsBrokenLinkage) {
+  CertChain c;
+  c.hops.push_back(make_cert(10, 11, 0, 2));
+  c.hops.push_back(make_cert(12, 11, 1, 2));  // hop from the wrong group
+  EXPECT_FALSE(c.verify(id, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, RejectsForgedSignature) {
+  CertChain c;
+  HopCert h = make_cert(10, 11, 0, 2);
+  h.sigs[0].second[0] ^= 0x01;
+  c.hops.push_back(h);
+  EXPECT_FALSE(c.verify(id, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, RejectsDuplicateSigners) {
+  CertChain c;
+  HopCert h = make_cert(10, 11, 0, 1);
+  h.sigs.push_back(h.sigs[0]);  // same node twice
+  c.hops.push_back(h);
+  EXPECT_FALSE(c.verify(id, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, RejectsWrongWalkId) {
+  CertChain c;
+  c.hops.push_back(make_cert(10, 11, 0, 2));
+  WalkId other{10, 78};
+  EXPECT_FALSE(c.verify(other, 10, members_fn(), keys).has_value());
+}
+
+TEST_F(CertFixture, VerificationCostGrowsWithChain) {
+  CertChain c1, c3;
+  c1.hops.push_back(make_cert(10, 11, 0, 2));
+  c3.hops.push_back(make_cert(10, 11, 0, 2));
+  c3.hops.push_back(make_cert(11, 12, 1, 2));
+  c3.hops.push_back(make_cert(12, 10, 2, 2));
+  EXPECT_LT(c1.verification_count(), c3.verification_count());
+}
+
+TEST(WalkUniformity, LongWalksPassChiSquare) {
+  Rng rng(99);
+  auto counts = simulate_walk_endpoints(32, 6, 12, 32000, rng);
+  EXPECT_TRUE(passes_uniformity_test(counts, 0.99));
+}
+
+TEST(WalkUniformity, OneHopWalksAreNotUniform) {
+  Rng rng(100);
+  // A single hop can only reach direct neighbors: wildly non-uniform.
+  auto counts = simulate_walk_endpoints(64, 3, 1, 64000, rng);
+  EXPECT_FALSE(passes_uniformity_test(counts, 0.99));
+}
+
+TEST(WalkUniformity, OptimalLengthGrowsWithGroupCount) {
+  Rng rng(101);
+  std::size_t small = optimal_walk_length(8, 4, 0.99, 8000, 20, rng);
+  std::size_t large = optimal_walk_length(512, 4, 0.99, 8000, 20, rng);
+  EXPECT_LE(small, large);
+  EXPECT_GE(large, 4u);
+}
+
+TEST(WalkUniformity, DenserGraphNeedsShorterWalks) {
+  Rng rng(102);
+  std::size_t sparse = optimal_walk_length(256, 2, 0.99, 8000, 25, rng);
+  std::size_t dense = optimal_walk_length(256, 10, 0.99, 8000, 25, rng);
+  EXPECT_LE(dense, sparse);
+}
+
+// ---------------------------------------------------------------------------
+// Gossip policies
+// ---------------------------------------------------------------------------
+
+std::vector<NeighborRef> three_cycle_neighbors() {
+  return {
+      {100, 0, 0}, {101, 0, 1}, {102, 1, 0}, {103, 1, 1}, {104, 2, 0}, {105, 2, 1},
+  };
+}
+
+TEST(Gossip, FloodRelaysEverywhere) {
+  GossipState g(forward_flood());
+  auto r = g.relays(BroadcastId{1, 1}, {}, three_cycle_neighbors());
+  EXPECT_EQ(r.size(), 6u);
+}
+
+TEST(Gossip, CyclePolicyRestrictsButKeepsMandatoryLink) {
+  GossipState g(forward_cycles({1}));
+  auto r = g.relays(BroadcastId{1, 1}, {}, three_cycle_neighbors());
+  // Cycle 1 both directions + the mandatory cycle-0 successor.
+  ASSERT_EQ(r.size(), 3u);
+  std::set<GroupId> targets;
+  for (const auto& n : r) targets.insert(n.group);
+  EXPECT_TRUE(targets.contains(100));  // mandatory deterministic link
+  EXPECT_TRUE(targets.contains(102));
+  EXPECT_TRUE(targets.contains(103));
+}
+
+TEST(Gossip, NonePolicyStillGuaranteesDelivery) {
+  GossipState g(forward_none());
+  auto r = g.relays(BroadcastId{1, 1}, {}, three_cycle_neighbors());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].group, 100u);
+  EXPECT_EQ(r[0].cycle, 0u);
+  EXPECT_EQ(r[0].direction, 0);
+}
+
+TEST(Gossip, RandomPolicyIsDeterministicPerBroadcast) {
+  auto f = forward_random(0.5, 7);
+  auto g1 = GossipState(f), g2 = GossipState(f);
+  auto n = three_cycle_neighbors();
+  auto r1 = g1.relays(BroadcastId{3, 9}, {}, n);
+  auto r2 = g2.relays(BroadcastId{3, 9}, {}, n);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i].group, r2[i].group);
+}
+
+TEST(Gossip, RandomPolicyVariesAcrossBroadcasts) {
+  GossipState g(forward_random(0.5, 7));
+  auto n = three_cycle_neighbors();
+  std::set<std::size_t> sizes;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    sizes.insert(g.relays(BroadcastId{1, s}, {}, n).size());
+  }
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(Gossip, FirstSightingDedups) {
+  GossipState g(forward_flood());
+  EXPECT_TRUE(g.first_sighting(BroadcastId{1, 1}));
+  EXPECT_FALSE(g.first_sighting(BroadcastId{1, 1}));
+  EXPECT_TRUE(g.first_sighting(BroadcastId{1, 2}));
+  EXPECT_TRUE(g.seen(BroadcastId{1, 1}));
+  EXPECT_FALSE(g.seen(BroadcastId{2, 1}));
+}
+
+}  // namespace
+}  // namespace atum::overlay

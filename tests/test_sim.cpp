@@ -1,0 +1,187 @@
+// Tests for the discrete-event simulator: ordering, cancellation, periodic
+// timers, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace atum::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  TimeMicros seen = -1;
+  s.schedule_at(100, [&] { s.schedule_after(50, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, PastDeadlineClampsToNow) {
+  Simulator s;
+  TimeMicros seen = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(5, [&] { seen = s.now(); });  // 5 < now=100
+  });
+  s.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  EventId id = s.schedule_at(1, [] {});
+  s.run();
+  s.cancel(id);  // must not blow up or affect future events
+  bool fired = false;
+  s.schedule_at(2, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<TimeMicros> fired;
+  for (TimeMicros t : {10, 20, 30, 40}) s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  s.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimeMicros>{10, 20}));
+  EXPECT_EQ(s.now(), 25);
+  s.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilInclusive) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(25, [&] { fired = true; });
+  s.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunWithLimitStopsEarly) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run(10), 10u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(PeriodicTimer, FiresRepeatedly) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, 10, [&] { ++fires; });
+  s.run_until(55);
+  EXPECT_EQ(fires, 5);  // at 10,20,30,40,50
+  t.stop();
+}
+
+TEST(PeriodicTimer, StopHaltsFiring) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, 10, [&] { ++fires; });
+  s.run_until(25);
+  t.stop();
+  s.run_until(200);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, StopFromInsideCallback) {
+  Simulator s;
+  int fires = 0;
+  PeriodicTimer t(s, 10, [&] {
+    if (++fires == 3) t.stop();
+  });
+  s.run_until(500);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator s;
+  int fires = 0;
+  {
+    PeriodicTimer t(s, 10, [&] { ++fires; });
+    s.run_until(15);
+  }
+  s.run_until(100);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTimer, RejectsNonPositivePeriod) {
+  Simulator s;
+  EXPECT_THROW(PeriodicTimer(s, 0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  // Two identical runs produce identical event orders.
+  auto run_once = [] {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      s.schedule_at(i % 7, [&order, i] { order.push_back(i); });
+    }
+    s.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace atum::sim

@@ -1,0 +1,240 @@
+// Tests for the synchronous Dolev-Strong SMR engine: agreement, total
+// order, fault tolerance up to f = floor((g-1)/2), equivocation handling,
+// and latency bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "smr/dolev_strong.h"
+
+namespace atum::smr {
+namespace {
+
+Bytes op_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// A small harness running g Dolev-Strong replicas on one simulated network.
+struct SyncGroup {
+  sim::Simulator sim;
+  net::SimNetwork net{sim, net::NetworkConfig::datacenter(), 99};
+  crypto::KeyStore keys{7};
+  GroupConfig cfg;
+  std::vector<std::unique_ptr<DolevStrongSmr>> replicas;
+  // decided[node] = ordered (origin, op) pairs.
+  std::map<NodeId, std::vector<std::pair<NodeId, Bytes>>> decided;
+
+  explicit SyncGroup(std::size_t g, DurationMicros round = millis(20),
+                     std::vector<std::pair<std::size_t, DsFaultMode>> faults = {}) {
+    for (NodeId n = 0; n < g; ++n) cfg.members.push_back(n);
+    DolevStrongOptions opt;
+    opt.round_duration = round;
+    for (NodeId n = 0; n < g; ++n) {
+      DsFaultMode mode = DsFaultMode::kCorrect;
+      for (auto [idx, m] : faults) {
+        if (idx == n) mode = m;
+      }
+      auto r = std::make_unique<DolevStrongSmr>(net::Transport(net, n), cfg, keys, opt, mode);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const Bytes& op) {
+        decided[n].emplace_back(origin, op);
+      });
+      replicas.push_back(std::move(r));
+    }
+  }
+
+  DolevStrongSmr& at(std::size_t i) { return *replicas[i]; }
+
+  void run_slots(int slots) {
+    DurationMicros slot_len =
+        static_cast<DurationMicros>(replicas[0]->rounds_per_slot()) * millis(20);
+    sim.run_until(sim.now() + slots * slot_len + millis(25));
+  }
+};
+
+TEST(DolevStrong, SingleProposerAllDecide) {
+  SyncGroup g(4);
+  g.at(0).propose(op_bytes("hello"));
+  g.run_slots(2);
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 1u) << "replica " << n;
+    EXPECT_EQ(g.decided[n][0].first, 0u);
+    EXPECT_EQ(g.decided[n][0].second, op_bytes("hello"));
+  }
+}
+
+TEST(DolevStrong, AllProposeSameTotalOrder) {
+  SyncGroup g(5);
+  for (std::size_t i = 0; i < 5; ++i) g.at(i).propose(op_bytes("op" + std::to_string(i)));
+  g.run_slots(2);
+  ASSERT_EQ(g.decided[0].size(), 5u);
+  for (NodeId n = 1; n < 5; ++n) {
+    EXPECT_EQ(g.decided[n], g.decided[0]) << "replica " << n << " diverged";
+  }
+}
+
+TEST(DolevStrong, DecidesExactlyOnce) {
+  SyncGroup g(4);
+  g.at(1).propose(op_bytes("once"));
+  g.run_slots(4);  // extra slots must not re-decide
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(g.decided[n].size(), 1u);
+}
+
+TEST(DolevStrong, ToleratesMaxSilentFaults) {
+  // g=5 -> f=2 silent replicas; the remaining 3 still agree.
+  SyncGroup g(5, millis(20), {{3, DsFaultMode::kSilent}, {4, DsFaultMode::kSilent}});
+  g.at(0).propose(op_bytes("survives"));
+  g.run_slots(2);
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 1u) << "correct replica " << n;
+    EXPECT_EQ(g.decided[n][0].second, op_bytes("survives"));
+  }
+  EXPECT_TRUE(g.decided[3].empty());
+  EXPECT_TRUE(g.decided[4].empty());
+}
+
+TEST(DolevStrong, SilentReplicaOpsAreNotDecided) {
+  SyncGroup g(4, millis(20), {{2, DsFaultMode::kSilent}});
+  g.at(2).propose(op_bytes("ghost"));
+  g.at(0).propose(op_bytes("real"));
+  g.run_slots(2);
+  for (NodeId n = 0; n < 2; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 1u);
+    EXPECT_EQ(g.decided[n][0].second, op_bytes("real"));
+  }
+}
+
+TEST(DolevStrong, EquivocatorIsVoided) {
+  // The equivocating node sends conflicting values; correct replicas agree
+  // on voiding it while still deciding each other's ops.
+  SyncGroup g(5, millis(20), {{0, DsFaultMode::kEquivocate}});
+  g.at(0).propose(op_bytes("evil"));
+  g.at(1).propose(op_bytes("good"));
+  g.run_slots(2);
+  for (NodeId n = 1; n < 5; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 1u) << "replica " << n;
+    EXPECT_EQ(g.decided[n][0].first, 1u);
+    EXPECT_EQ(g.decided[n][0].second, op_bytes("good"));
+  }
+}
+
+TEST(DolevStrong, OpsAcrossSlotsKeepOrder) {
+  SyncGroup g(4);
+  g.at(0).propose(op_bytes("first"));
+  g.run_slots(2);
+  g.at(1).propose(op_bytes("second"));
+  g.run_slots(2);
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 2u);
+    EXPECT_EQ(g.decided[n][0].second, op_bytes("first"));
+    EXPECT_EQ(g.decided[n][1].second, op_bytes("second"));
+  }
+}
+
+TEST(DolevStrong, DeterministicOrderWithinSlot) {
+  // Two ops proposed in the same slot decide in (origin, digest) order.
+  SyncGroup g(4);
+  g.at(2).propose(op_bytes("from2"));
+  g.at(1).propose(op_bytes("from1"));
+  g.run_slots(2);
+  ASSERT_EQ(g.decided[0].size(), 2u);
+  EXPECT_EQ(g.decided[0][0].first, 1u);
+  EXPECT_EQ(g.decided[0][1].first, 2u);
+}
+
+TEST(DolevStrong, LatencyWithinSlotBound) {
+  SyncGroup g(7);  // f=3, rounds_per_slot = 5
+  TimeMicros start = g.sim.now();
+  TimeMicros decided_at = -1;
+  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const Bytes&) {
+    if (decided_at < 0) decided_at = g.sim.now();
+  });
+  g.at(0).propose(op_bytes("timed"));
+  g.run_slots(3);
+  ASSERT_GE(decided_at, 0);
+  // Must decide within two slot lengths (proposal may just miss a slot).
+  DurationMicros slot = g.at(0).expected_slot_latency();
+  EXPECT_LE(decided_at - start, 2 * slot + millis(20));
+}
+
+TEST(DolevStrong, NonMemberMessagesIgnored) {
+  SyncGroup g(4);
+  // A non-member injects garbage of the right type.
+  g.net.send(net::Message{77, 0, net::MsgType::kDsBroadcast, op_bytes("junk")});
+  g.at(0).propose(op_bytes("ok"));
+  g.run_slots(2);
+  ASSERT_EQ(g.decided[0].size(), 1u);
+  EXPECT_EQ(g.decided[0][0].second, op_bytes("ok"));
+}
+
+TEST(DolevStrong, MalformedPayloadIgnored) {
+  SyncGroup g(4);
+  g.net.send(net::Message{1, 0, net::MsgType::kDsBroadcast, Bytes{0xde, 0xad}});
+  g.at(0).propose(op_bytes("ok"));
+  g.run_slots(2);
+  EXPECT_EQ(g.decided[0].size(), 1u);
+}
+
+TEST(DolevStrong, EmptyOpRoundTrips) {
+  SyncGroup g(4);
+  g.at(0).propose({});
+  g.run_slots(2);
+  ASSERT_EQ(g.decided[1].size(), 1u);
+  EXPECT_TRUE(g.decided[1][0].second.empty());
+}
+
+TEST(DolevStrong, LargeOpRoundTrips) {
+  SyncGroup g(4);
+  Bytes big(10'000, 0xAB);
+  g.at(0).propose(big);
+  g.run_slots(2);
+  ASSERT_EQ(g.decided[3].size(), 1u);
+  EXPECT_EQ(g.decided[3][0].second, big);
+}
+
+TEST(DolevStrong, RoundsPerSlotMatchesFaultThreshold) {
+  SyncGroup g3(3), g7(7), g9(9);
+  EXPECT_EQ(g3.at(0).max_faults(), 1u);
+  EXPECT_EQ(g3.at(0).rounds_per_slot(), 3u);
+  EXPECT_EQ(g7.at(0).max_faults(), 3u);
+  EXPECT_EQ(g7.at(0).rounds_per_slot(), 5u);
+  EXPECT_EQ(g9.at(0).max_faults(), 4u);
+  EXPECT_EQ(g9.at(0).rounds_per_slot(), 6u);
+}
+
+TEST(DolevStrong, StoppedReplicaStopsDeciding) {
+  SyncGroup g(4);
+  g.at(3).stop();
+  g.at(0).propose(op_bytes("after-stop"));
+  g.run_slots(2);
+  EXPECT_TRUE(g.decided[3].empty());
+  EXPECT_EQ(g.decided[0].size(), 1u);  // remaining 3 of 4 proceed (f=1)
+}
+
+// Property sweep: for every group size, with the maximum tolerable number
+// of silent faults, all correct replicas decide identically.
+class DolevStrongSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DolevStrongSweep, AgreementUnderMaxFaults) {
+  std::size_t g = GetParam();
+  std::size_t f = sync_max_faults(g);
+  std::vector<std::pair<std::size_t, DsFaultMode>> faults;
+  for (std::size_t i = 0; i < f; ++i) faults.emplace_back(g - 1 - i, DsFaultMode::kSilent);
+  SyncGroup grp(g, millis(20), faults);
+  for (std::size_t i = 0; i + f < g; ++i) grp.at(i).propose(op_bytes("op" + std::to_string(i)));
+  grp.run_slots(2);
+
+  std::size_t correct = g - f;
+  ASSERT_EQ(grp.decided[0].size(), correct);
+  for (NodeId n = 1; n < correct; ++n) {
+    EXPECT_EQ(grp.decided[n], grp.decided[0]) << "replica " << n << " diverged (g=" << g << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, DolevStrongSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 9, 11, 13));
+
+}  // namespace
+}  // namespace atum::smr
