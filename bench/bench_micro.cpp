@@ -8,6 +8,7 @@
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
+#include "net/network.h"
 #include "overlay/hgraph.h"
 #include "overlay/random_walk.h"
 #include "sim/simulator.h"
@@ -61,6 +62,49 @@ static void BM_SimulatorThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorThroughput);
+
+// Group broadcast fan-out: one 4 KiB payload sent to N recipients through
+// the simulated network, then delivered. This is Atum's hot path (every
+// group message is sent to every member of the destination vgroup).
+namespace {
+constexpr std::size_t kFanoutPayloadBytes = 4096;
+
+template <typename SendFn>
+void run_fanout_bench(benchmark::State& state, SendFn&& send_one) {
+  const auto recipients = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::SimNetwork net(sim, net::NetworkConfig::datacenter());
+  std::uint64_t delivered = 0;
+  for (NodeId n = 1; n <= recipients; ++n) {
+    net.attach(n, [&delivered](const net::Message&) { ++delivered; });
+  }
+  for (auto _ : state) {
+    for (NodeId n = 1; n <= recipients; ++n) send_one(net, n);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(recipients * kFanoutPayloadBytes));
+}
+}  // namespace
+
+// The seed behavior: each recipient gets its own deep copy of the payload.
+static void BM_BroadcastFanoutDeepCopy(benchmark::State& state) {
+  Bytes payload(kFanoutPayloadBytes, 0xCD);
+  run_fanout_bench(state, [&payload](net::SimNetwork& net, NodeId n) {
+    net.send(net::Message{0, n, net::MsgType::kAppData, payload});  // freezes a fresh copy
+  });
+}
+BENCHMARK(BM_BroadcastFanoutDeepCopy)->Arg(8)->Arg(64)->Arg(512);
+
+// The overhauled path: freeze once, share the buffer across all recipients.
+static void BM_BroadcastFanoutShared(benchmark::State& state) {
+  net::Payload payload(Bytes(kFanoutPayloadBytes, 0xCD));
+  run_fanout_bench(state, [&payload](net::SimNetwork& net, NodeId n) {
+    net.send(net::Message{0, n, net::MsgType::kAppData, payload});
+  });
+}
+BENCHMARK(BM_BroadcastFanoutShared)->Arg(8)->Arg(64)->Arg(512);
 
 static void BM_HGraphInsert(benchmark::State& state) {
   for (auto _ : state) {

@@ -58,7 +58,8 @@ int main() {
   std::printf("\nSEARCH \"video\" at node 9 -> %zu result(s)\n", results.size());
   for (const auto& m : results) {
     std::printf("  %s (owner %llu, %llu bytes, %zu chunks, %zu replicas)\n",
-                m.key.name.c_str(), static_cast<unsigned long long>(m.key.owner), m.size,
+                m.key.name.c_str(), static_cast<unsigned long long>(m.key.owner),
+                static_cast<unsigned long long>(m.size),
                 m.chunk_count(), m.holders.size());
   }
 

@@ -98,8 +98,9 @@ void AStreamNode::join_stream(NodeId source) {
   ByteWriter w2;
   w2.u8(kAdopt);
   w2.u64(config_.stream_id);
+  net::Payload adopt(w2.take());  // one buffer for all parents
   for (NodeId p : parents_) {
-    transport_.send(p, net::MsgType::kStreamPush, w2.data());
+    transport_.send(p, net::MsgType::kStreamPush, adopt);
   }
 }
 
@@ -124,19 +125,7 @@ void AStreamNode::stream_chunk(Bytes data) {
   atum_.broadcast(w.take());
 
   // Tier 2: push the chunk down the tree; children pull what follows.
-  push_to_children(seq);
-  // Serve any pulls that raced ahead of this chunk.
-  auto it = pending_pulls_.find(seq);
-  if (it != pending_pulls_.end()) {
-    for (NodeId child : it->second) {
-      ByteWriter cw;
-      cw.u64(config_.stream_id);
-      cw.u64(seq);
-      cw.bytes(outgoing_chunk(seq));
-      transport_.send(child, net::MsgType::kStreamChunk, cw.data());
-    }
-    pending_pulls_.erase(it);
-  }
+  fan_out_chunk(seq, /*include_children=*/true);
 }
 
 Bytes AStreamNode::outgoing_chunk(std::uint64_t seq) const {
@@ -147,13 +136,31 @@ Bytes AStreamNode::outgoing_chunk(std::uint64_t seq) const {
   return data;
 }
 
-void AStreamNode::push_to_children(std::uint64_t seq) {
-  for (NodeId child : children_) {
-    ByteWriter w;
-    w.u64(config_.stream_id);
-    w.u64(seq);
-    w.bytes(outgoing_chunk(seq));
-    transport_.send(child, net::MsgType::kStreamChunk, w.data());
+Bytes AStreamNode::encode_chunk_frame(std::uint64_t seq) const {
+  ByteWriter w;
+  w.u64(config_.stream_id);
+  w.u64(seq);
+  w.bytes(outgoing_chunk(seq));
+  return w.take();
+}
+
+void AStreamNode::fan_out_chunk(std::uint64_t seq, bool include_children) {
+  auto it = pending_pulls_.find(seq);
+  bool push = include_children && !children_.empty();
+  if (!push && it == pending_pulls_.end()) return;
+  // Encode + freeze the chunk frame once; the whole subtree fan-out (the
+  // dissemination tree's hot path) shares one buffer.
+  net::Payload frame(encode_chunk_frame(seq));
+  if (push) {
+    for (NodeId child : children_) {
+      transport_.send(child, net::MsgType::kStreamChunk, frame);
+    }
+  }
+  if (it != pending_pulls_.end()) {
+    for (NodeId child : it->second) {
+      transport_.send(child, net::MsgType::kStreamChunk, frame);
+    }
+    pending_pulls_.erase(it);
   }
 }
 
@@ -258,22 +265,12 @@ void AStreamNode::try_verify_buffered() {
       }
       continue;
     }
-    // Verified: store, deliver in order, serve pending pulls, push chunk 1.
+    // Verified: store, deliver in order, serve pending pulls, push chunk 1
+    // (the push phase applies only to the first chunk of the stream).
     std::uint64_t seq = it->first;
     verified_[seq] = std::move(data);
     it = unverified_.erase(it);
-    if (seq == 1) push_to_children(1);  // push phase for the first chunk
-    auto wit = pending_pulls_.find(seq);
-    if (wit != pending_pulls_.end()) {
-      for (NodeId child : wit->second) {
-        ByteWriter w;
-        w.u64(config_.stream_id);
-        w.u64(seq);
-        w.bytes(outgoing_chunk(seq));
-        transport_.send(child, net::MsgType::kStreamChunk, w.data());
-      }
-      pending_pulls_.erase(wit);
-    }
+    fan_out_chunk(seq, /*include_children=*/seq == 1);
     progressed = true;
   }
   while (verified_.contains(delivered_up_to_ + 1)) {

@@ -71,10 +71,14 @@ class AStreamNode {
   void on_stream_message(const net::Message& msg);
   void accept_chunk(std::uint64_t seq, Bytes data, NodeId from);
   void try_verify_buffered();
-  void push_to_children(std::uint64_t seq);
+  // Sends seq's frame to every child (when include_children) and to any
+  // pulls that raced ahead of it, sharing one frozen buffer per fan-out.
+  void fan_out_chunk(std::uint64_t seq, bool include_children);
   void pull_next();
   void arm_pull_timer(std::uint64_t seq);
   Bytes outgoing_chunk(std::uint64_t seq) const;
+  // stream_id + seq + chunk body, the frame pushed down the tree.
+  Bytes encode_chunk_frame(std::uint64_t seq) const;
 
   core::AtumSystem& sys_;
   NodeId id_;

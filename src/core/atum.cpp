@@ -338,13 +338,18 @@ void AtumNode::on_config_change(std::uint64_t, const smr::GroupConfig& config) {
   // Send the replicated state to newly admitted members (§3.3.2: "j
   // synchronizes its state with D").
   if (is_sender_behavior()) {
+    // Snapshot and freeze once; every newly admitted member shares it.
+    net::Payload reply;
     for (NodeId n : vg_.members()) {
       if (std::find(old_members.begin(), old_members.end(), n) != old_members.end()) continue;
       if (n == id_) continue;
-      ByteWriter w;
-      w.u8(kReplyPhaseState);
-      w.bytes(snapshot_state());
-      transport_.send(n, net::MsgType::kJoinReply, w.take());
+      if (reply.empty()) {
+        ByteWriter w;
+        w.u8(kReplyPhaseState);
+        w.bytes(snapshot_state());
+        reply = net::Payload(w.take());
+      }
+      transport_.send(n, net::MsgType::kJoinReply, reply);
     }
   }
 }
@@ -370,10 +375,16 @@ void AtumNode::evaluate_suspicions() {
 // Group messages & gossip
 // ===========================================================================
 
-void AtumNode::send_group_payload(const group::GroupView& dest, const Bytes& payload) {
-  if (!is_sender_behavior()) return;  // Byzantine members do not contribute
+std::optional<overlay::PreparedGroupMessage> AtumNode::prepare_group_payload(
+    const Bytes& payload) const {
+  if (!is_sender_behavior()) return std::nullopt;  // Byzantine members do not contribute
   overlay::GroupMessageId id{vg_.id(), crypto::digest_prefix64(crypto::sha256(payload))};
-  overlay::send_group_message(transport_, vg_.members(), id, dest.members, payload, rng_);
+  return overlay::PreparedGroupMessage(vg_.members(), id_, id, payload);
+}
+
+void AtumNode::send_group_payload(const group::GroupView& dest, const Bytes& payload) {
+  auto msg = prepare_group_payload(payload);
+  if (msg) msg->send_to(transport_, dest.members, rng_);
 }
 
 void AtumNode::send_neighbor_updates() {
@@ -381,10 +392,12 @@ void AtumNode::send_neighbor_updates() {
   w.u8(kGmNeighborUpdate);
   group::GroupView self{vg_.id(), vg_.members()};
   self.encode(w);
-  Bytes payload = w.take();
+  // Encode + freeze once; every neighbor group shares the same frame.
+  auto msg = prepare_group_payload(w.take());
+  if (!msg) return;
   for (const group::GroupView& g : vg_.known_groups()) {
     if (g.id == vg_.id()) continue;
-    send_group_payload(g, payload);
+    msg->send_to(transport_, g.members, rng_);
   }
 }
 
@@ -430,16 +443,20 @@ void AtumNode::deliver_broadcast(const BroadcastId& id, const Bytes& payload) {
 
 void AtumNode::relay_gossip(const BroadcastId& id, const Bytes& payload) {
   if (!is_sender_behavior()) return;
+  std::vector<overlay::NeighborRef> relays = gossip_.relays(id, payload, vg_.neighbor_refs());
+  if (relays.empty()) return;
   ByteWriter w;
   w.u8(kGmGossip);
   w.u64(id.origin);
   w.u64(id.seq);
   w.bytes(payload);
-  Bytes gm_payload = w.take();
-
-  for (const overlay::NeighborRef& ref : gossip_.relays(id, payload, vg_.neighbor_refs())) {
+  // One encode + one digest for the whole relay fan-out; every neighbor
+  // group and every member within it shares the same frozen frame.
+  auto msg = prepare_group_payload(w.take());
+  if (!msg) return;
+  for (const overlay::NeighborRef& ref : relays) {
     auto view = vg_.find_group(ref.group);
-    if (view) send_group_payload(*view, gm_payload);
+    if (view) msg->send_to(transport_, view->members, rng_);
   }
 }
 
@@ -572,7 +589,7 @@ void AtumNode::on_direct(const net::Message& msg) {
           w.u8(kJoinPhaseAddMe);
           w.u64(id_);
           w.u64(walk_nonce_);
-          Bytes req = w.take();
+          net::Payload req(w.take());  // one buffer for the whole vgroup
           for (NodeId n : view.members) {
             transport_.send(n, net::MsgType::kJoinRequest, req);
           }

@@ -156,6 +156,10 @@ class AtumNode {
   void relay_gossip(const BroadcastId& id, const Bytes& payload);
   void handle_walk(overlay::WalkState walk);
   void forward_walk(overlay::WalkState walk);
+  // Encodes `payload` as a group message exactly once (nullopt for
+  // non-sender behaviors); callers fan the result out to one or many
+  // destination groups with zero further payload copies.
+  std::optional<overlay::PreparedGroupMessage> prepare_group_payload(const Bytes& payload) const;
   void send_group_payload(const group::GroupView& dest, const Bytes& payload);
   void send_neighbor_updates();
   void heartbeat_tick();

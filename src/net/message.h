@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "common/serde.h"
 #include "common/types.h"
@@ -38,11 +40,53 @@ enum class MsgType : std::uint16_t {
   kStreamChunk = 0x0505,
 };
 
+// Immutable, reference-counted message body.
+//
+// A vgroup fan-out sends one byte string to every member of the destination
+// group (g = 7..20 recipients) and a gossip relay repeats that per overlay
+// neighbor, so the same buffer used to be deep-copied dozens of times per
+// broadcast. A Payload freezes the bytes once at construction; copying it
+// afterwards copies one shared_ptr. The buffer is truly immutable — senders
+// mutating their original Bytes after send() cannot affect in-flight
+// messages, and receivers cannot corrupt the copy other receivers see.
+class Payload {
+ public:
+  Payload() : data_(empty_buffer()) {}
+  // Implicit: freezes the bytes (one copy/move — the last one this buffer
+  // will ever see).
+  Payload(Bytes bytes) : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+  explicit Payload(std::shared_ptr<const Bytes> bytes)
+      : data_(bytes ? std::move(bytes) : empty_buffer()) {}
+
+  const Bytes& bytes() const { return *data_; }
+  operator const Bytes&() const { return *data_; }  // drop-in for ByteReader & friends
+
+  std::size_t size() const { return data_->size(); }
+  bool empty() const { return data_->empty(); }
+  const std::uint8_t* data() const { return data_->data(); }
+  Bytes::const_iterator begin() const { return data_->begin(); }
+  Bytes::const_iterator end() const { return data_->end(); }
+
+  // How many Payload instances share this buffer (tests/benches: proves a
+  // fan-out shared one allocation instead of copying).
+  long use_count() const { return data_.use_count(); }
+
+  friend bool operator==(const Payload& a, const Payload& b) { return *a.data_ == *b.data_; }
+
+ private:
+  static const std::shared_ptr<const Bytes>& empty_buffer() {
+    static const std::shared_ptr<const Bytes> kEmpty = std::make_shared<const Bytes>();
+    return kEmpty;
+  }
+
+  std::shared_ptr<const Bytes> data_;
+};
+
 struct Message {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   MsgType type = MsgType::kAppData;
-  Bytes payload;
+  Payload payload;
 
   // Bytes on the wire: payload plus transport/auth framing (addresses,
   // type, length, MAC tag) — roughly a TCP+TLS-record overhead.

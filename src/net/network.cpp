@@ -2,17 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace atum::net {
 
 namespace {
-std::uint64_t link_key(NodeId a, NodeId b) {
-  NodeId lo = std::min(a, b), hi = std::max(a, b);
-  return (lo << 32) ^ hi;
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
 }
 }  // namespace
 
 NetworkConfig NetworkConfig::datacenter() { return NetworkConfig{}; }
+
+void NetworkConfig::validate() const {
+  auto positive_rate = [](double v) { return std::isfinite(v) && v > 0.0; };
+  if (!positive_rate(egress_bytes_per_sec)) {
+    throw std::invalid_argument("NetworkConfig: egress_bytes_per_sec must be finite and > 0");
+  }
+  if (!positive_rate(ingress_bytes_per_sec)) {
+    throw std::invalid_argument("NetworkConfig: ingress_bytes_per_sec must be finite and > 0");
+  }
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {  // rejects NaN too
+    throw std::invalid_argument("NetworkConfig: drop_probability must be in [0,1]");
+  }
+  if (base_latency < 0) throw std::invalid_argument("NetworkConfig: negative base_latency");
+  if (jitter_mean < 0) throw std::invalid_argument("NetworkConfig: negative jitter_mean");
+  if (per_message_cpu < 0) throw std::invalid_argument("NetworkConfig: negative per_message_cpu");
+  for (const auto& row : region_latency) {
+    if (row.size() != region_latency.size()) {
+      throw std::invalid_argument("NetworkConfig: region_latency must be square");
+    }
+    for (DurationMicros d : row) {
+      if (d < 0) throw std::invalid_argument("NetworkConfig: negative region latency");
+    }
+  }
+}
 
 NetworkConfig NetworkConfig::wide_area() {
   NetworkConfig c;
@@ -38,7 +62,9 @@ NetworkConfig NetworkConfig::wide_area() {
 }
 
 SimNetwork::SimNetwork(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
-    : sim_(sim), config_(std::move(config)), rng_(seed) {}
+    : sim_(sim), config_(std::move(config)), rng_(seed) {
+  config_.validate();
+}
 
 void SimNetwork::attach(NodeId node, MessageHandler handler) {
   handlers_[node].fallback = std::move(handler);

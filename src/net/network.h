@@ -42,6 +42,13 @@ struct NetworkConfig {
   static NetworkConfig datacenter();
   // 8 regions as in the paper: EU x2, US x2, Asia x2, Australia, S.America.
   static NetworkConfig wide_area();
+
+  // Throws std::invalid_argument on non-physical parameters (zero/negative
+  // or non-finite bandwidths, negative latencies, drop probability outside
+  // [0,1], a non-square WAN latency matrix). SimNetwork validates its
+  // config at construction, so a bad bandwidth fails fast instead of
+  // silently producing inf/NaN delivery times.
+  void validate() const;
 };
 
 struct NetworkStats {
@@ -100,10 +107,20 @@ class SimNetwork {
   sim::Simulator& sim_;
   NetworkConfig config_;
   Rng rng_;
+  // Full-width link key: NodeId is 64-bit, so packing two ids into one
+  // 64-bit word would alias distinct links once ids exceed 2^32.
+  using LinkKey = std::pair<NodeId, NodeId>;  // (min, max)
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& k) const noexcept {
+      std::size_t h = std::hash<NodeId>{}(k.first);
+      return h ^ (std::hash<NodeId>{}(k.second) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+
   std::unordered_map<NodeId, NodeHandlers> handlers_;
   std::unordered_map<NodeId, Flow> flows_;
   std::unordered_set<NodeId> isolated_;
-  std::unordered_set<std::uint64_t> blocked_links_;  // key = min<<32|max (ids fit 32 bits in practice)
+  std::unordered_set<LinkKey, LinkKeyHash> blocked_links_;
   NetworkStats stats_;
 };
 
@@ -127,7 +144,10 @@ class Transport {
   NodeId self() const { return self_; }
   sim::Simulator& simulator() { return net_->simulator(); }
 
-  void send(NodeId to, MsgType type, Bytes payload) {
+  // Accepts Bytes (frozen into a Payload here) or an existing Payload.
+  // Fan-out loops should freeze once and pass the Payload so all
+  // recipients share one buffer.
+  void send(NodeId to, MsgType type, Payload payload) {
     net_->send(Message{self_, to, type, std::move(payload)});
   }
   // Registers the node's default handler (owned by this Transport).

@@ -24,25 +24,33 @@ Bytes encode_digest(GroupMessageId id, const crypto::Digest& d) {
 
 }  // namespace
 
-void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
-                        GroupMessageId id, const std::vector<NodeId>& destination,
-                        const Bytes& payload, Rng& rng) {
+PreparedGroupMessage::PreparedGroupMessage(const std::vector<NodeId>& senders, NodeId self,
+                                           GroupMessageId id, const Bytes& payload) {
   // Rank of the local node among the (sorted) senders decides full vs digest.
-  auto it = std::find(senders.begin(), senders.end(), transport.self());
+  auto it = std::find(senders.begin(), senders.end(), self);
   std::size_t rank = static_cast<std::size_t>(it - senders.begin());
   std::size_t full_count = senders.size() / 2 + 1;  // any majority has a correct node
   bool send_full = rank < full_count;
 
-  Bytes wire = send_full ? encode_full(id, payload)
-                         : encode_digest(id, crypto::sha256(payload));
-  net::MsgType type = send_full ? net::MsgType::kGroupMsgFull : net::MsgType::kGroupMsgDigest;
+  // Freeze the encoded frame once; every recipient shares the same buffer.
+  wire_ = net::Payload(send_full ? encode_full(id, payload)
+                                 : encode_digest(id, crypto::sha256(payload)));
+  type_ = send_full ? net::MsgType::kGroupMsgFull : net::MsgType::kGroupMsgDigest;
+}
 
-  // §5.1: randomize destination order to avoid incast bursts.
+void PreparedGroupMessage::send_to(net::Transport& transport,
+                                   const std::vector<NodeId>& destination, Rng& rng) const {
   std::vector<NodeId> order = destination;
   rng.shuffle(order);
   for (NodeId d : order) {
-    transport.send(d, type, wire);
+    transport.send(d, type_, wire_);
   }
+}
+
+void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
+                        GroupMessageId id, const std::vector<NodeId>& destination,
+                        const Bytes& payload, Rng& rng) {
+  PreparedGroupMessage(senders, transport.self(), id, payload).send_to(transport, destination, rng);
 }
 
 GroupMessageReceiver::GroupMessageReceiver(net::Transport transport, DeliverFn deliver)

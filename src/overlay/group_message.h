@@ -32,10 +32,28 @@ struct GroupMessageId {
   friend auto operator<=>(const GroupMessageId&, const GroupMessageId&) = default;
 };
 
-// Sends one group message on behalf of the local node. `senders` is the
-// sorted membership of the local vgroup (must include `transport.self()`);
-// the first floor(g/2)+1 ranks transmit the full payload, the rest its
-// digest. Destinations are contacted in randomized order.
+// One group message encoded on behalf of the local node, ready to fan out.
+// `senders` is the sorted membership of the local vgroup (must include
+// `self`); the first floor(g/2)+1 ranks transmit the full payload, the rest
+// its digest. The wire frame is encoded and frozen exactly once — sending
+// it to any number of destination groups and members shares one buffer
+// (gossip relays the same broadcast to several neighbor vgroups).
+class PreparedGroupMessage {
+ public:
+  PreparedGroupMessage(const std::vector<NodeId>& senders, NodeId self, GroupMessageId id,
+                       const Bytes& payload);
+
+  // Sends to every member of `destination`, in randomized order (§5.1:
+  // avoid the synchronized bursts that cause incast throughput collapse).
+  void send_to(net::Transport& transport, const std::vector<NodeId>& destination,
+               Rng& rng) const;
+
+ private:
+  net::Payload wire_;
+  net::MsgType type_;
+};
+
+// Convenience wrapper: prepare + send to one destination group.
 void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
                         GroupMessageId id, const std::vector<NodeId>& destination,
                         const Bytes& payload, Rng& rng);

@@ -1,14 +1,33 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace atum::sim {
 
+namespace {
+// Below this size a compaction sweep costs more than it saves.
+constexpr std::size_t kMinCompactHeap = 64;
+}  // namespace
+
 EventId Simulator::schedule_at(TimeMicros t, EventFn fn) {
   if (t < now_) t = now_;  // clamp: "immediately" for past deadlines
-  EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.armed = true;
+  EventId id = make_id(s.gen, idx);
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
   return id;
 }
 
@@ -17,28 +36,56 @@ EventId Simulator::schedule_after(DurationMicros delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) {
-  if (id != 0) cancelled_.insert(id);
+void Simulator::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn = nullptr;  // reclaim the closure now, not at pop time
+  s.armed = false;
+  if (++s.gen == 0) s.gen = 1;  // keep handles non-zero across wraparound
+  free_slots_.push_back(idx);
 }
 
-void Simulator::execute(Event e) {
-  now_ = e.at;
+void Simulator::cancel(EventId id) {
+  if (!slot_matches(id)) return;  // unknown, already fired, or cancelled
+  release_slot(index_of(id));
+  --live_;
+  ++stale_in_heap_;  // the heap entry stays behind until popped or swept
+  maybe_compact();
+}
+
+void Simulator::maybe_compact() {
+  if (heap_.size() < kMinCompactHeap || stale_in_heap_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return !slot_matches(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  stale_in_heap_ = 0;
+}
+
+bool Simulator::settle_top() {
+  while (!heap_.empty()) {
+    if (slot_matches(heap_.front().id)) return true;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    --stale_in_heap_;
+  }
+  return false;
+}
+
+void Simulator::execute(TimeMicros at, EventFn fn) {
+  now_ = at;
   ++executed_;
-  e.fn();
+  fn();
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event e = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    execute(std::move(e));
-    return true;
-  }
-  return false;
+  if (!settle_top()) return false;
+  Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  std::uint32_t idx = index_of(e.id);
+  EventFn fn = std::move(slots_[idx].fn);
+  release_slot(idx);
+  --live_;
+  execute(e.at, std::move(fn));
+  return true;
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
@@ -49,15 +96,8 @@ std::uint64_t Simulator::run(std::uint64_t limit) {
 
 std::uint64_t Simulator::run_until(TimeMicros t) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    Event e = queue_.top();
-    if (e.at > t) break;
-    queue_.pop();
-    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    execute(std::move(e));
+  while (settle_top() && heap_.front().at <= t) {
+    step();
     ++n;
   }
   if (now_ < t) now_ = t;

@@ -4,12 +4,18 @@
 // node's protocol logic runs as event handlers on one simulated clock.
 // Events with equal timestamps fire in scheduling order (stable), which
 // together with seeded RNG makes whole experiments bit-reproducible.
+//
+// Storage model: event closures live in a generation-stamped slot arena;
+// the heap orders lightweight {time, seq, id} entries. cancel() is O(1)
+// amortized — it frees the closure and recycles the slot immediately, and
+// stale heap entries are swept by periodic compaction once they outnumber
+// the live ones. Under churn (schedule/cancel cycles, e.g. heartbeat
+// timeouts across 100k nodes) memory stays proportional to the number of
+// *pending* events, not to the number ever scheduled or cancelled.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -17,6 +23,10 @@
 namespace atum::sim {
 
 using EventFn = std::function<void()>;
+// Event handle: generation (high 32 bits) | slot index (low 32 bits).
+// Generations start at 1, so a valid handle is never 0 and a handle stays
+// invalid forever once its event fired or was cancelled, even after the
+// slot is recycled. 0 is the reserved "no event" value.
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -32,6 +42,7 @@ class Simulator {
   // Schedules fn after a non-negative delay.
   EventId schedule_after(DurationMicros delay, EventFn fn);
   // Cancels a pending event; no-op if it already fired or was cancelled.
+  // O(1) amortized; releases the event's closure immediately.
   void cancel(EventId id);
 
   // Runs events until the queue drains or `limit` events fired.
@@ -42,30 +53,59 @@ class Simulator {
   // Executes the single next event, if any. Returns false on empty queue.
   bool step();
 
-  bool empty() const { return live_events() == 0; }
+  bool empty() const { return live_ == 0; }
   std::uint64_t executed_events() const { return executed_; }
+  // Exact count of pending (scheduled, not yet fired or cancelled) events.
+  std::uint64_t live_events() const { return live_; }
+
+  // Introspection for memory-bound tests/benches: heap entries (live +
+  // not-yet-swept stale) and arena size (peak concurrent live events).
+  std::size_t heap_size() const { return heap_.size(); }
+  std::size_t slot_count() const { return slots_.size(); }
 
  private:
-  struct Event {
-    TimeMicros at;
-    EventId id;
+  struct Slot {
     EventFn fn;
+    std::uint32_t gen = 1;
+    bool armed = false;
+  };
+  struct Entry {
+    TimeMicros at;
+    std::uint64_t seq;  // FIFO among same-time events
+    EventId id;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among same-time events
+      return a.seq > b.seq;
     }
   };
 
-  std::uint64_t live_events() const { return queue_.size() - cancelled_.size(); }
-  void execute(Event e);
+  static constexpr EventId make_id(std::uint32_t gen, std::uint32_t idx) {
+    return (static_cast<EventId>(gen) << 32) | idx;
+  }
+  static constexpr std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+  static constexpr std::uint32_t index_of(EventId id) { return static_cast<std::uint32_t>(id); }
+
+  bool slot_matches(EventId id) const {
+    std::uint32_t idx = index_of(id);
+    return idx < slots_.size() && slots_[idx].armed && slots_[idx].gen == gen_of(id);
+  }
+  // Frees the closure, invalidates outstanding handles, recycles the slot.
+  void release_slot(std::uint32_t idx);
+  // Pops heap entries until the top is live; returns false if none is.
+  bool settle_top();
+  void maybe_compact();
+  void execute(TimeMicros at, EventFn fn);
 
   TimeMicros now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t live_ = 0;
+  std::uint64_t stale_in_heap_ = 0;
+  std::vector<Entry> heap_;  // binary min-heap via std::push_heap/pop_heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 // RAII periodic timer: fires `fn` every `period` until destroyed or stopped.

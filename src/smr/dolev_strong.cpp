@@ -158,7 +158,7 @@ void DolevStrongSmr::broadcast_value(const Bytes& payload, std::uint64_t slot) {
   Bytes digest_bytes(d.begin(), d.end());
   crypto::Signature sig = keys_.key_of(transport_.self()).sign(digest_bytes);
   WireValue v{slot, transport_.self(), payload, {{transport_.self(), sig}}};
-  Bytes wire = encode_wire(v);
+  net::Payload wire(encode_wire(v));  // frozen once, shared by all peers
   for (NodeId peer : config_.members) {
     if (peer == transport_.self()) continue;
     transport_.send(peer, net::MsgType::kDsBroadcast, wire);
@@ -238,7 +238,7 @@ void DolevStrongSmr::relay(PendingValue& v, std::uint64_t slot) {
   }
 
   WireValue wire{slot, v.origin, v.payload, std::move(chain)};
-  Bytes encoded = encode_wire(wire);
+  net::Payload encoded(encode_wire(wire));  // frozen once, shared by all peers
   for (NodeId peer : config_.members) {
     if (peer == transport_.self()) continue;
     transport_.send(peer, net::MsgType::kDsBroadcast, encoded);

@@ -69,12 +69,13 @@ crypto::Digest PbftSmr::request_digest(const Request& req) const {
 }
 
 void PbftSmr::broadcast(net::MsgType type, const Bytes& payload, bool include_self) {
+  net::Payload frozen(payload);  // one buffer shared by every replica
   for (NodeId peer : config_.members) {
     if (peer == transport_.self()) continue;
-    transport_.send(peer, type, payload);
+    transport_.send(peer, type, frozen);
   }
   if (include_self) {
-    transport_.send(transport_.self(), type, payload);
+    transport_.send(transport_.self(), type, frozen);
   }
 }
 

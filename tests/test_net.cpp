@@ -2,6 +2,7 @@
 // drops, partitions, typed routing, and the WAN region matrix.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "net/network.h"
@@ -240,6 +241,124 @@ TEST_F(NetFixture, JitterVariesLatency) {
   bool all_same = std::all_of(arrivals.begin(), arrivals.end(),
                               [&](TimeMicros t) { return t == arrivals[0]; });
   EXPECT_FALSE(all_same);
+}
+
+// ---------------------------------------------------------------------------
+// Payload sharing semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, MutatingSentBufferDoesNotAffectInFlightMessage) {
+  auto net = make(cfg);
+  Bytes received;
+  net->attach(2, [&](const Message& m) { received = m.payload.bytes(); });
+  Bytes buf{1, 2, 3};
+  net->send(Message{1, 2, MsgType::kAppData, buf});  // frozen at send time
+  buf[0] = 99;                                       // sender scribbles afterwards
+  buf.push_back(4);
+  sim.run();
+  EXPECT_EQ(received, (Bytes{1, 2, 3}));
+}
+
+TEST_F(NetFixture, FanOutSharesOneBufferAcrossRecipients) {
+  auto net = make(cfg);
+  std::vector<const std::uint8_t*> seen_data;
+  for (NodeId n = 1; n <= 8; ++n) {
+    net->attach(n, [&](const Message& m) { seen_data.push_back(m.payload.data()); });
+  }
+  Payload shared(Bytes(4096, 0xAB));
+  EXPECT_EQ(shared.use_count(), 1);
+  for (NodeId n = 1; n <= 8; ++n) {
+    net->send(Message{0, n, MsgType::kAppData, shared});
+  }
+  // All 8 in-flight messages + our handle reference the same allocation.
+  EXPECT_EQ(shared.use_count(), 9);
+  sim.run();
+  ASSERT_EQ(seen_data.size(), 8u);
+  for (const std::uint8_t* p : seen_data) EXPECT_EQ(p, shared.data());
+  EXPECT_EQ(shared.use_count(), 1);  // delivery released the shares
+}
+
+TEST(Payload, CopiesShareAndCompareByContent) {
+  Payload a(Bytes{1, 2, 3});
+  Payload b = a;
+  EXPECT_EQ(b.data(), a.data());  // same buffer
+  EXPECT_EQ(a.use_count(), 2);
+  Payload c(Bytes{1, 2, 3});
+  EXPECT_EQ(a, c);                // content equality
+  EXPECT_NE(c.data(), a.data());  // distinct buffer
+}
+
+TEST(Payload, DefaultIsSharedEmptyBuffer) {
+  Payload a, b;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(&a.bytes(), &b.bytes());  // heartbeats allocate nothing
+}
+
+// ---------------------------------------------------------------------------
+// Link keys above 2^32 (regression: the packed 64-bit key truncated ids)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, BlockedLinksDoNotAliasForLargeNodeIds) {
+  // With the old (lo << 32) ^ hi key only lo's LOW 32 bits survived the
+  // shift, so these two disjoint links both produced the key (6<<32)|9 —
+  // blocking one silently blocked the other:
+  const NodeId a = (5ULL << 32) | 1, b = (7ULL << 32) | 9;  // (1<<32) ^ b
+  const NodeId c = 2, d = (4ULL << 32) | 9;                 // (2<<32) ^ d
+  auto net = make(cfg);
+  int got_cd = 0, got_ab = 0;
+  net->attach(b, [&](const Message&) { ++got_ab; });
+  net->attach(d, [&](const Message&) { ++got_cd; });
+  net->block_link(a, b, true);
+  net->send(Message{c, d, MsgType::kAppData, {}});  // must NOT be blocked
+  net->send(Message{a, b, MsgType::kAppData, {}});  // must be blocked
+  sim.run();
+  EXPECT_EQ(got_cd, 1);
+  EXPECT_EQ(got_ab, 0);
+  // And unblocking restores the exact link.
+  net->block_link(a, b, false);
+  net->send(Message{a, b, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got_ab, 1);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkConfig::validate
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, RejectsNonPositiveBandwidth) {
+  NetworkConfig bad = cfg;
+  bad.egress_bytes_per_sec = 0.0;  // would divide to inf delivery times
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.egress_bytes_per_sec = -1.0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.ingress_bytes_per_sec = 0.0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.ingress_bytes_per_sec = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(make(bad), std::invalid_argument);
+}
+
+TEST_F(NetFixture, RejectsBadProbabilityAndNegativeLatencies) {
+  NetworkConfig bad = cfg;
+  bad.drop_probability = 1.5;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.base_latency = -1;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.jitter_mean = -1;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = cfg;
+  bad.region_latency = {{1, 2}, {3}};  // ragged matrix
+  EXPECT_THROW(make(bad), std::invalid_argument);
+}
+
+TEST_F(NetFixture, StockConfigsValidate) {
+  EXPECT_NO_THROW(NetworkConfig::datacenter().validate());
+  EXPECT_NO_THROW(NetworkConfig::wide_area().validate());
 }
 
 }  // namespace

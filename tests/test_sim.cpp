@@ -9,6 +9,11 @@
 namespace atum::sim {
 namespace {
 
+// A handle the simulator never issued: a far-future generation on slot 7.
+EventId make_unknown_id(int round) {
+  return (static_cast<EventId>(0xFFFF0000u + static_cast<std::uint32_t>(round)) << 32) | 7u;
+}
+
 TEST(Simulator, StartsAtZero) {
   Simulator s;
   EXPECT_EQ(s.now(), 0);
@@ -167,6 +172,111 @@ TEST(PeriodicTimer, DestructorCancels) {
 TEST(PeriodicTimer, RejectsNonPositivePeriod) {
   Simulator s;
   EXPECT_THROW(PeriodicTimer(s, 0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, LiveEventsStaysExactUnderCancel) {
+  Simulator s;
+  EXPECT_EQ(s.live_events(), 0u);
+  EventId a = s.schedule_at(10, [] {});
+  EventId b = s.schedule_at(20, [] {});
+  EXPECT_EQ(s.live_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.live_events(), 1u);
+  s.cancel(a);  // double cancel: no-op, no underflow
+  EXPECT_EQ(s.live_events(), 1u);
+  s.run();
+  EXPECT_EQ(s.live_events(), 0u);
+  s.cancel(b);               // cancel after fire: no-op
+  s.cancel(0);               // reserved null handle
+  s.cancel(0xdeadbeefULL);   // handle never issued
+  EXPECT_EQ(s.live_events(), 0u);
+  EXPECT_TRUE(s.empty());
+  // The engine still works afterwards.
+  bool fired = false;
+  s.schedule_after(1, [&] { fired = true; });
+  EXPECT_EQ(s.live_events(), 1u);
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledFiredAndUnknownIdsDoNotAccumulate) {
+  // Seed bug: cancelling fired/unknown ids grew the tombstone set forever
+  // and made live_events() (queue size minus tombstones) underflow.
+  Simulator s;
+  for (int round = 0; round < 1000; ++round) {
+    EventId id = s.schedule_at(round, [] {});
+    s.run();
+    s.cancel(id);                                   // already fired
+    s.cancel(make_unknown_id(round));               // never issued
+    EXPECT_EQ(s.live_events(), 0u);
+    EXPECT_TRUE(s.empty());
+  }
+  EXPECT_EQ(s.heap_size(), 0u);
+  EXPECT_LE(s.slot_count(), 4u);  // arena tracks peak concurrency, not history
+}
+
+TEST(Simulator, MemoryBoundedUnderScheduleCancelChurn) {
+  // 1M schedule/cancel cycles with a rolling window of pending events — the
+  // heartbeat-timeout pattern of a 100k-node run. The seed's tombstone set
+  // grew with every cancel; the slot arena and heap must stay proportional
+  // to the window, not to the cycle count.
+  Simulator s;
+  constexpr std::size_t kWindow = 1024;
+  std::vector<EventId> pending;
+  pending.reserve(kWindow);
+  for (std::size_t i = 0; i < 1'000'000; ++i) {
+    if (pending.size() == kWindow) {
+      s.cancel(pending[i % kWindow]);
+      pending[i % kWindow] = s.schedule_at(static_cast<TimeMicros>(i + 1'000'000), [] {});
+    } else {
+      pending.push_back(s.schedule_at(static_cast<TimeMicros>(i + 1'000'000), [] {}));
+    }
+    ASSERT_LE(s.live_events(), kWindow);
+    ASSERT_LE(s.slot_count(), 2 * kWindow);
+    ASSERT_LE(s.heap_size(), 4 * kWindow);  // stale entries swept by compaction
+  }
+  EXPECT_EQ(s.live_events(), kWindow);
+  for (EventId id : pending) s.cancel(id);
+  EXPECT_EQ(s.live_events(), 0u);
+  s.run();
+  EXPECT_EQ(s.executed_events(), 0u);  // everything was cancelled in time
+}
+
+TEST(Simulator, SlotReuseDoesNotResurrectOldHandles) {
+  Simulator s;
+  bool first_fired = false;
+  bool second_fired = false;
+  EventId a = s.schedule_at(10, [&] { first_fired = true; });
+  s.cancel(a);
+  // The slot is recycled with a new generation; the old handle must not be
+  // able to cancel the new occupant.
+  EventId b = s.schedule_at(20, [&] { second_fired = true; });
+  s.cancel(a);
+  s.run();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  EXPECT_NE(a, b);
+}
+
+TEST(Simulator, CancelFromInsideEventHandler) {
+  Simulator s;
+  bool victim_fired = false;
+  EventId victim = s.schedule_at(20, [&] { victim_fired = true; });
+  s.schedule_at(10, [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(s.live_events(), 0u);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledEvents) {
+  Simulator s;
+  std::vector<int> fired;
+  s.schedule_at(10, [&] { fired.push_back(1); });
+  EventId mid = s.schedule_at(20, [&] { fired.push_back(2); });
+  s.schedule_at(30, [&] { fired.push_back(3); });
+  s.cancel(mid);
+  EXPECT_EQ(s.run_until(30), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
 }
 
 TEST(Simulator, DeterministicInterleaving) {
