@@ -52,7 +52,7 @@ double run_stream(std::size_t n, std::set<std::size_t> cycles) {
     nodes.back()->set_digest_handler([&digest_at, &sys, i](std::uint64_t seq) {
       digest_at[{i, seq}] = sys.simulator().now();
     });
-    nodes.back()->set_chunk_handler([&, i](std::uint64_t seq, const Bytes&) {
+    nodes.back()->set_chunk_handler([&, i](std::uint64_t seq, const net::Payload&) {
       if (i == 0) return;
       auto it = digest_at.find({i, seq});
       if (it == digest_at.end()) return;

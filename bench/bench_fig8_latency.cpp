@@ -87,7 +87,7 @@ void run_atum(smr::EngineKind kind, std::size_t n, std::size_t byzantine) {
   std::uint64_t delivered_current = 0;
   TimeMicros t0 = 0;
   for (NodeId i = 0; i < n; ++i) {
-    sys.node(i).set_deliver([&](NodeId, const Bytes&) {
+    sys.node(i).set_deliver([&](NodeId, const net::Payload&) {
       latencies.add(to_seconds(sys.simulator().now() - t0));
       ++delivered_current;
     });

@@ -36,7 +36,7 @@ int main() {
   std::vector<std::unique_ptr<AStreamNode>> stream;
   for (NodeId i = 0; i < 24; ++i) {
     stream.push_back(std::make_unique<AStreamNode>(system, i, StreamConfig{}));
-    stream.back()->set_chunk_handler([&chunks_played, i](std::uint64_t seq, const Bytes&) {
+    stream.back()->set_chunk_handler([&chunks_played, i](std::uint64_t seq, const net::Payload&) {
       chunks_played[i] = seq;
     });
   }

@@ -26,7 +26,7 @@ core::Params demo_params() {
 
 void attach_printer(Topic& topic, NodeId subscriber) {
   topic.set_event_handler(subscriber, [name = topic.name(), subscriber](NodeId publisher,
-                                                                        const Bytes& event) {
+                                                                        const atum::net::Payload& event) {
     std::printf("  [%s] subscriber %llu got \"%s\" (from %llu)\n", name.c_str(),
                 static_cast<unsigned long long>(subscriber),
                 std::string(event.begin(), event.end()).c_str(),

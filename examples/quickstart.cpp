@@ -28,7 +28,7 @@ int main() {
 
   // 2. bootstrap(): node 0 creates a single-vgroup Atum instance.
   auto& first = system.add_node(0);
-  first.set_deliver([&](NodeId origin, const Bytes& payload) {
+  first.set_deliver([&](NodeId origin, const net::Payload& payload) {
     std::printf("  [t=%6.2fs] node 0 delivers \"%s\" from node %llu\n", to_seconds(sim.now()),
                 std::string(payload.begin(), payload.end()).c_str(),
                 static_cast<unsigned long long>(origin));
@@ -42,7 +42,7 @@ int main() {
   //    SMR reconfiguration, state hand-off.
   for (NodeId n = 1; n <= 5; ++n) {
     auto& node = system.add_node(n);
-    node.set_deliver([&, n](NodeId origin, const Bytes& payload) {
+    node.set_deliver([&, n](NodeId origin, const net::Payload& payload) {
       std::printf("  [t=%6.2fs] node %llu delivers \"%s\" from node %llu\n",
                   to_seconds(sim.now()), static_cast<unsigned long long>(n),
                   std::string(payload.begin(), payload.end()).c_str(),

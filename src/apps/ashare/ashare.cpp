@@ -38,7 +38,8 @@ AShareNode::AShareNode(core::AtumSystem& system, NodeId id, std::size_t rho,
       rng_(system.rng().next_u64() ^ (id * 31)),
       rho_(std::max<std::size_t>(rho, 1)),
       n_estimate_(std::max<std::size_t>(n_estimate, 1)) {
-  atum_.set_deliver([this](NodeId origin, const Bytes& payload) { on_deliver(origin, payload); });
+  atum_.set_deliver(
+      [this](NodeId origin, const net::Payload& payload) { on_deliver(origin, payload); });
   transport_.listen({net::MsgType::kChunkRequest, net::MsgType::kChunkReply},
                     [this](const net::Message& m) { on_transfer_message(m); });
   replication_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -116,7 +117,7 @@ void AShareNode::force_replicate(const FileKey& key, GetFn done) {
 // Broadcast delivery: index maintenance + replication loop
 // ---------------------------------------------------------------------------
 
-void AShareNode::on_deliver(NodeId origin, const Bytes& payload) {
+void AShareNode::on_deliver(NodeId origin, const net::Payload& payload) {
   try {
     ByteReader r(payload);
     std::uint8_t tag = r.u8();

@@ -86,7 +86,7 @@ class AShareNode {
     std::uint64_t transfer_id = 0;
   };
 
-  void on_deliver(NodeId origin, const Bytes& payload);
+  void on_deliver(NodeId origin, const net::Payload& payload);
   void on_transfer_message(const net::Message& msg);
   void replication_round(const FileKey& key);
   void start_get(const FileKey& key, GetFn done, bool announce);

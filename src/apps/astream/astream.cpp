@@ -27,7 +27,8 @@ AStreamNode::AStreamNode(core::AtumSystem& system, NodeId id, StreamConfig confi
       transport_(system.network(), id),
       rng_(system.rng().next_u64() ^ (id * 77)),
       config_(config) {
-  atum_.set_deliver([this](NodeId origin, const Bytes& payload) { on_deliver(origin, payload); });
+  atum_.set_deliver(
+      [this](NodeId origin, const net::Payload& payload) { on_deliver(origin, payload); });
   transport_.listen({net::MsgType::kStreamPush, net::MsgType::kStreamPull,
                      net::MsgType::kStreamChunk},
                     [this](const net::Message& m) { on_stream_message(m); });
@@ -112,7 +113,7 @@ void AStreamNode::stream_chunk(Bytes data) {
   std::uint64_t seq = ++source_seq_;
   crypto::Digest d = crypto::sha256(data);
   digests_[seq] = d;
-  verified_[seq] = std::move(data);
+  verified_[seq] = net::Payload(std::move(data));  // frozen once, shared from here on
   delivered_up_to_ = seq;
   if (on_chunk_) on_chunk_(seq, verified_[seq]);  // the source delivers locally too
 
@@ -128,19 +129,23 @@ void AStreamNode::stream_chunk(Bytes data) {
   fan_out_chunk(seq, /*include_children=*/true);
 }
 
-Bytes AStreamNode::outgoing_chunk(std::uint64_t seq) const {
+net::Payload AStreamNode::outgoing_chunk(std::uint64_t seq) const {
   auto it = verified_.find(seq);
   if (it == verified_.end()) return {};
-  Bytes data = it->second;
-  if (corrupt_chunks_ && !data.empty()) data[0] ^= 0xFF;
-  return data;
+  if (corrupt_chunks_ && !it->second.empty()) {
+    Bytes data = it->second.to_bytes();  // a corrupted copy, never the store
+    data[0] ^= 0xFF;
+    return net::Payload(std::move(data));
+  }
+  return it->second;  // share the stored chunk
 }
 
 Bytes AStreamNode::encode_chunk_frame(std::uint64_t seq) const {
   ByteWriter w;
   w.u64(config_.stream_id);
   w.u64(seq);
-  w.bytes(outgoing_chunk(seq));
+  net::Payload chunk = outgoing_chunk(seq);
+  w.bytes(chunk.data(), chunk.size());
   return w.take();
 }
 
@@ -168,7 +173,7 @@ void AStreamNode::fan_out_chunk(std::uint64_t seq, bool include_children) {
 // Tier 1: digests via Atum
 // ---------------------------------------------------------------------------
 
-void AStreamNode::on_deliver(NodeId, const Bytes& payload) {
+void AStreamNode::on_deliver(NodeId, const net::Payload& payload) {
   try {
     ByteReader r(payload);
     if (r.u8() != kMsgDigest) return;
@@ -210,8 +215,9 @@ void AStreamNode::on_stream_message(const net::Message& msg) {
           ByteWriter w;
           w.u64(config_.stream_id);
           w.u64(seq);
-          w.bytes(outgoing_chunk(seq));
-          transport_.send(msg.from, net::MsgType::kStreamChunk, w.data());
+          net::Payload chunk = outgoing_chunk(seq);
+          w.bytes(chunk.data(), chunk.size());
+          transport_.send(msg.from, net::MsgType::kStreamChunk, w.take());
         } else {
           pending_pulls_[seq].push_back(msg.from);  // reply once it arrives
         }
@@ -221,7 +227,8 @@ void AStreamNode::on_stream_message(const net::Message& msg) {
         ByteReader r(msg.payload);
         std::uint64_t stream = r.u64();
         std::uint64_t seq = r.u64();
-        Bytes data = r.bytes();
+        // Zero-copy: the chunk stays a slice of the arriving frame.
+        net::Payload data = msg.payload.slice(r.bytes_view());
         if (stream != config_.stream_id) return;
         accept_chunk(seq, std::move(data), msg.from);
         break;
@@ -233,7 +240,7 @@ void AStreamNode::on_stream_message(const net::Message& msg) {
   }
 }
 
-void AStreamNode::accept_chunk(std::uint64_t seq, Bytes data, NodeId from) {
+void AStreamNode::accept_chunk(std::uint64_t seq, net::Payload data, NodeId from) {
   if (verified_.contains(seq)) return;
   unverified_[seq] = {std::move(data), from};
   try_verify_buffered();
@@ -248,7 +255,7 @@ void AStreamNode::try_verify_buffered() {
       continue;  // digest not yet delivered by tier 1
     }
     auto& [data, from] = it->second;
-    if (crypto::sha256(data) != dit->second) {
+    if (crypto::sha256(data.data(), data.size()) != dit->second) {
       // Corrupt chunk: the §4.3 fail-over — demote this parent and re-pull.
       auto pit = std::find(parents_.begin(), parents_.end(), from);
       if (pit != parents_.end() && parents_.size() > 1) {
@@ -261,7 +268,7 @@ void AStreamNode::try_verify_buffered() {
         ByteWriter w;
         w.u64(config_.stream_id);
         w.u64(seq);
-        transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.data());
+        transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.take());
       }
       continue;
     }
@@ -288,7 +295,7 @@ void AStreamNode::pull_next() {
   ByteWriter w;
   w.u64(config_.stream_id);
   w.u64(want);
-  transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.data());
+  transport_.send(parents_[preferred_parent_], net::MsgType::kStreamPull, w.take());
   arm_pull_timer(want);
 }
 

@@ -35,8 +35,10 @@ struct StreamConfig {
 
 class AStreamNode {
  public:
-  // Called once per chunk, in order, after digest verification.
-  using ChunkFn = std::function<void(std::uint64_t seq, const Bytes& data)>;
+  // Called once per chunk, in order, after digest verification. The data is
+  // a refcounted view of the verified chunk store (shared with pulls being
+  // served); copy via to_bytes() to keep it past the callback.
+  using ChunkFn = std::function<void(std::uint64_t seq, const net::Payload& data)>;
 
   AStreamNode(core::AtumSystem& system, NodeId id, StreamConfig config);
   ~AStreamNode();
@@ -67,16 +69,16 @@ class AStreamNode {
   std::size_t child_count() const { return children_.size(); }
 
  private:
-  void on_deliver(NodeId origin, const Bytes& payload);  // tier-1 digests
+  void on_deliver(NodeId origin, const net::Payload& payload);  // tier-1 digests
   void on_stream_message(const net::Message& msg);
-  void accept_chunk(std::uint64_t seq, Bytes data, NodeId from);
+  void accept_chunk(std::uint64_t seq, net::Payload data, NodeId from);
   void try_verify_buffered();
   // Sends seq's frame to every child (when include_children) and to any
   // pulls that raced ahead of it, sharing one frozen buffer per fan-out.
   void fan_out_chunk(std::uint64_t seq, bool include_children);
   void pull_next();
   void arm_pull_timer(std::uint64_t seq);
-  Bytes outgoing_chunk(std::uint64_t seq) const;
+  net::Payload outgoing_chunk(std::uint64_t seq) const;
   // stream_id + seq + chunk body, the frame pushed down the tree.
   Bytes encode_chunk_frame(std::uint64_t seq) const;
 
@@ -94,8 +96,10 @@ class AStreamNode {
   std::set<NodeId> children_;
 
   std::map<std::uint64_t, crypto::Digest> digests_;   // tier-1 metadata
-  std::map<std::uint64_t, Bytes> verified_;           // chunk store (serves pulls)
-  std::map<std::uint64_t, std::pair<Bytes, NodeId>> unverified_;
+  // Chunk stores hold refcounted views: a received chunk stays a slice of
+  // the frame it arrived in (zero-copy receive path).
+  std::map<std::uint64_t, net::Payload> verified_;    // chunk store (serves pulls)
+  std::map<std::uint64_t, std::pair<net::Payload, NodeId>> unverified_;
   std::map<std::uint64_t, std::vector<NodeId>> pending_pulls_;  // seq -> waiting children
   std::uint64_t delivered_up_to_ = 0;    // all chunks <= this are delivered
   std::uint64_t source_seq_ = 0;

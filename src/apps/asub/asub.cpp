@@ -11,7 +11,7 @@ Topic::Topic(std::string name, core::Params params, net::NetworkConfig net_confi
 void Topic::create(NodeId creator) {
   if (contact_) throw std::logic_error("Topic: already created");
   auto& node = system_.add_node(creator);
-  node.set_deliver([this, creator](NodeId publisher, const Bytes& event) {
+  node.set_deliver([this, creator](NodeId publisher, const net::Payload& event) {
     if (auto it = handlers_.find(creator); it != handlers_.end() && it->second) {
       it->second(publisher, event);
     }
@@ -23,7 +23,7 @@ void Topic::create(NodeId creator) {
 void Topic::subscribe(NodeId subscriber) {
   if (!contact_) throw std::logic_error("Topic: not created yet");
   auto& node = system_.add_node(subscriber);
-  node.set_deliver([this, subscriber](NodeId publisher, const Bytes& event) {
+  node.set_deliver([this, subscriber](NodeId publisher, const net::Payload& event) {
     if (auto it = handlers_.find(subscriber); it != handlers_.end() && it->second) {
       it->second(publisher, event);
     }

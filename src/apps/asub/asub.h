@@ -22,7 +22,9 @@ namespace atum::asub {
 // One topic = one Atum instance (its own vgroup overlay).
 class Topic {
  public:
-  using EventFn = std::function<void(NodeId publisher, const Bytes& event)>;
+  // The event is a refcounted view shared with the relay machinery; copy
+  // via to_bytes() to keep it past the callback.
+  using EventFn = std::function<void(NodeId publisher, const net::Payload& event)>;
 
   Topic(std::string name, core::Params params, net::NetworkConfig net_config,
         std::uint64_t seed);

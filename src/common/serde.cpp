@@ -35,6 +35,11 @@ void ByteWriter::bytes(const Bytes& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
+void ByteWriter::bytes(const std::uint8_t* p, std::size_t n) {
+  varint(n);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
 void ByteWriter::raw(const std::uint8_t* p, std::size_t n) { buf_.insert(buf_.end(), p, p + n); }
 
 void ByteWriter::str(std::string_view s) {
@@ -95,6 +100,14 @@ Bytes ByteReader::bytes() {
   std::uint64_t n = varint();
   need(static_cast<std::size_t>(n));
   Bytes out(p_, p_ + n);
+  p_ += n;
+  return out;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes_view() {
+  std::uint64_t n = varint();
+  need(static_cast<std::size_t>(n));
+  std::span<const std::uint8_t> out(p_, static_cast<std::size_t>(n));
   p_ += n;
   return out;
 }

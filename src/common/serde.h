@@ -7,8 +7,10 @@
 // protocol code treats that as a faulty sender.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -34,6 +36,7 @@ class ByteWriter {
   // LEB128 variable-length unsigned integer; compact for small counts.
   void varint(std::uint64_t v);
   void bytes(const Bytes& b);             // length-prefixed
+  void bytes(const std::uint8_t* p, std::size_t n);  // length-prefixed range
   void raw(const std::uint8_t* p, std::size_t n);  // no length prefix
   void str(std::string_view s);           // length-prefixed
 
@@ -55,6 +58,14 @@ class ByteReader {
  public:
   explicit ByteReader(const Bytes& buf) : p_(buf.data()), end_(buf.data() + buf.size()) {}
   ByteReader(const std::uint8_t* p, std::size_t n) : p_(p), end_(p + n) {}
+  // Any contiguous byte buffer (in particular net::Payload, which common/
+  // cannot name without inverting the layer order).
+  template <typename B>
+    requires requires(const B& b) {
+      { b.data() } -> std::convertible_to<const std::uint8_t*>;
+      { b.size() } -> std::convertible_to<std::size_t>;
+    }
+  explicit ByteReader(const B& buf) : p_(buf.data()), end_(buf.data() + buf.size()) {}
 
   std::uint8_t u8();
   std::uint16_t u16();
@@ -64,6 +75,10 @@ class ByteReader {
   double f64();
   std::uint64_t varint();
   Bytes bytes();
+  // Length-prefixed byte range returned as a view into the underlying
+  // buffer — no copy. Valid for the buffer's lifetime; pair it with
+  // net::Payload::slice() to hand the range up the stack refcounted.
+  std::span<const std::uint8_t> bytes_view();
   std::string str();
   void raw(std::uint8_t* out, std::size_t n);
 

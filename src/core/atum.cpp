@@ -15,6 +15,12 @@ constexpr std::uint8_t kGmGossip = 1;
 constexpr std::uint8_t kGmWalk = 2;
 constexpr std::uint8_t kGmNeighborUpdate = 3;
 
+// The decided BroadcastOp encoding (tag, origin, seq, payload) is byte-
+// identical to the kGmGossip frame, so a broadcast is relayed across the
+// overlay verbatim — no relaying node ever re-encodes the gossip frame.
+static_assert(kGmGossip == static_cast<std::uint8_t>(group::OpKind::kBroadcast),
+              "gossip frame must alias the broadcast op encoding");
+
 // Direct-message phases.
 constexpr std::uint8_t kJoinPhaseContact = 1;  // joiner -> contact node
 constexpr std::uint8_t kJoinPhaseAddMe = 2;    // joiner -> contact vgroup
@@ -200,7 +206,7 @@ void AtumNode::setup_runtime() {
   smr::GroupConfig cfg;
   cfg.members = vg_.members();
   smr_ = std::make_unique<smr::ReconfigurableSmr>(sys_.network(), id_, cfg, sys_.keys(), opt);
-  smr_->set_decide_handler([this](std::uint64_t seq, NodeId origin, const Bytes& op) {
+  smr_->set_decide_handler([this](std::uint64_t seq, NodeId origin, const net::Payload& op) {
     on_smr_decide(seq, origin, op);
   });
   smr_->set_config_handler([this](std::uint64_t epoch, const smr::GroupConfig& config) {
@@ -209,8 +215,8 @@ void AtumNode::setup_runtime() {
 
   gm_rx_ = std::make_unique<overlay::GroupMessageReceiver>(
       net::Transport(sys_.network(), id_),
-      [this](const overlay::GroupMessageId& id, NodeId relay, const Bytes& payload) {
-        on_group_message(id, relay, payload);
+      [this](const overlay::GroupMessageId& id, NodeId relay, net::Payload payload) {
+        on_group_message(id, relay, std::move(payload));
       });
   gm_rx_->set_group_size_fn([this](GroupId g) -> std::optional<std::size_t> {
     auto v = vg_.find_group(g);
@@ -272,7 +278,7 @@ void AtumNode::broadcast(Bytes payload) {
 // SMR plumbing
 // ===========================================================================
 
-void AtumNode::on_smr_decide(std::uint64_t, NodeId origin, const Bytes& wire) {
+void AtumNode::on_smr_decide(std::uint64_t, NodeId origin, const net::Payload& wire) {
   group::DecodedOp op;
   try {
     op = group::decode_op(wire);
@@ -283,7 +289,9 @@ void AtumNode::on_smr_decide(std::uint64_t, NodeId origin, const Bytes& wire) {
     case group::OpKind::kBroadcast: {
       if (op.broadcast.bcast.origin != origin) return;  // forged origin
       deliver_broadcast(op.broadcast.bcast, op.broadcast.payload);
-      relay_gossip(op.broadcast.bcast, op.broadcast.payload);
+      // The decided op IS the gossip frame (see static_assert above):
+      // relay the buffer we already hold instead of re-encoding it.
+      relay_gossip(op.broadcast.bcast, op.broadcast.payload, wire);
       break;
     }
     case group::OpKind::kSuspect: {
@@ -376,13 +384,14 @@ void AtumNode::evaluate_suspicions() {
 // ===========================================================================
 
 std::optional<overlay::PreparedGroupMessage> AtumNode::prepare_group_payload(
-    const Bytes& payload) const {
+    const net::Payload& payload) const {
   if (!is_sender_behavior()) return std::nullopt;  // Byzantine members do not contribute
-  overlay::GroupMessageId id{vg_.id(), crypto::digest_prefix64(crypto::sha256(payload))};
+  overlay::GroupMessageId id{
+      vg_.id(), crypto::digest_prefix64(crypto::sha256(payload.data(), payload.size()))};
   return overlay::PreparedGroupMessage(vg_.members(), id_, id, payload);
 }
 
-void AtumNode::send_group_payload(const group::GroupView& dest, const Bytes& payload) {
+void AtumNode::send_group_payload(const group::GroupView& dest, const net::Payload& payload) {
   auto msg = prepare_group_payload(payload);
   if (msg) msg->send_to(transport_, dest.members, rng_);
 }
@@ -402,7 +411,7 @@ void AtumNode::send_neighbor_updates() {
 }
 
 void AtumNode::on_group_message(const overlay::GroupMessageId& gm_id, NodeId,
-                                const Bytes& payload) {
+                                net::Payload payload) {
   if (behavior_ == NodeBehavior::kSilent) return;
   try {
     ByteReader r(payload);
@@ -410,9 +419,11 @@ void AtumNode::on_group_message(const overlay::GroupMessageId& gm_id, NodeId,
     switch (kind) {
       case kGmGossip: {
         BroadcastId id{r.u64(), r.u64()};
-        Bytes body = r.bytes();
+        // The broadcast body is a slice of the received frame; the frame
+        // itself is relayed verbatim. Neither is ever copied.
+        net::Payload body = payload.slice(r.bytes_view());
         deliver_broadcast(id, body);
-        relay_gossip(id, body);
+        relay_gossip(id, body, payload);
         break;
       }
       case kGmWalk: {
@@ -435,24 +446,21 @@ void AtumNode::on_group_message(const overlay::GroupMessageId& gm_id, NodeId,
   }
 }
 
-void AtumNode::deliver_broadcast(const BroadcastId& id, const Bytes& payload) {
+void AtumNode::deliver_broadcast(const BroadcastId& id, const net::Payload& payload) {
   if (!gossip_.first_sighting(id)) return;
   ++delivered_;
   if (behavior_ == NodeBehavior::kCorrect && deliver_) deliver_(id.origin, payload);
 }
 
-void AtumNode::relay_gossip(const BroadcastId& id, const Bytes& payload) {
+void AtumNode::relay_gossip(const BroadcastId& id, const net::Payload& payload,
+                            const net::Payload& frame) {
   if (!is_sender_behavior()) return;
   std::vector<overlay::NeighborRef> relays = gossip_.relays(id, payload, vg_.neighbor_refs());
   if (relays.empty()) return;
-  ByteWriter w;
-  w.u8(kGmGossip);
-  w.u64(id.origin);
-  w.u64(id.seq);
-  w.bytes(payload);
-  // One encode + one digest for the whole relay fan-out; every neighbor
-  // group and every member within it shares the same frozen frame.
-  auto msg = prepare_group_payload(w.take());
+  // One wire frame (wrapping the received gossip frame verbatim) + one
+  // digest for the whole relay fan-out; every neighbor group and every
+  // member within it shares the same frozen buffer.
+  auto msg = prepare_group_payload(frame);
   if (!msg) return;
   for (const overlay::NeighborRef& ref : relays) {
     auto view = vg_.find_group(ref.group);

@@ -25,6 +25,15 @@
 //  * full-group shuffling, split and merge dynamics are modelled at vgroup
 //    granularity in group::ClusterSim (see DESIGN.md); the node-level
 //    runtime keeps vgroups static in size apart from join/leave/eviction.
+//
+// Payload ownership (README "Payload API"): broadcast() freezes the
+// application bytes once; everything above the transport then works on
+// refcounted net::Payload views — the decided op is sliced out of the SMR
+// frame, delivered to DeliverFn as a view, and relayed across the overlay
+// verbatim (the BroadcastOp encoding doubles as the gossip frame). A node
+// materializes at most one new buffer per broadcast (its own outgoing
+// group-message wire frame), however many groups and members it fans out
+// to.
 #pragma once
 
 #include <cstdint>
@@ -105,7 +114,10 @@ class AtumSystem {
 class AtumNode {
  public:
   // deliver(message) callback (§3.3): origin identifies the broadcaster.
-  using DeliverFn = std::function<void(NodeId origin, const Bytes& payload)>;
+  // The payload is a refcounted view shared with the relay machinery (one
+  // materialization per node, however large the fan-out); copy via
+  // to_bytes() only if the application archives it past the callback.
+  using DeliverFn = std::function<void(NodeId origin, const net::Payload& payload)>;
 
   AtumNode(AtumSystem& system, NodeId id, NodeBehavior behavior);
   ~AtumNode();
@@ -146,21 +158,28 @@ class AtumNode {
 
   // --- wiring ---
   void setup_runtime();
-  void on_smr_decide(std::uint64_t seq, NodeId origin, const Bytes& op);
+  void on_smr_decide(std::uint64_t seq, NodeId origin, const net::Payload& op);
   void on_config_change(std::uint64_t epoch, const smr::GroupConfig& config);
-  void on_group_message(const overlay::GroupMessageId& id, NodeId relay, const Bytes& payload);
+  void on_group_message(const overlay::GroupMessageId& id, NodeId relay, net::Payload payload);
   void on_direct(const net::Message& msg);
 
   // --- protocol actions ---
-  void deliver_broadcast(const BroadcastId& id, const Bytes& payload);
-  void relay_gossip(const BroadcastId& id, const Bytes& payload);
+  void deliver_broadcast(const BroadcastId& id, const net::Payload& payload);
+  // Relays `frame` (the received kGmGossip group-message body, or the
+  // decided broadcast op whose encoding doubles as that frame) verbatim to
+  // the chosen neighbor groups: a relaying node never re-encodes the
+  // gossip frame, it only wraps it in its own group-message wire frame —
+  // the node's single payload materialization.
+  void relay_gossip(const BroadcastId& id, const net::Payload& payload,
+                    const net::Payload& frame);
   void handle_walk(overlay::WalkState walk);
   void forward_walk(overlay::WalkState walk);
   // Encodes `payload` as a group message exactly once (nullopt for
   // non-sender behaviors); callers fan the result out to one or many
   // destination groups with zero further payload copies.
-  std::optional<overlay::PreparedGroupMessage> prepare_group_payload(const Bytes& payload) const;
-  void send_group_payload(const group::GroupView& dest, const Bytes& payload);
+  std::optional<overlay::PreparedGroupMessage> prepare_group_payload(
+      const net::Payload& payload) const;
+  void send_group_payload(const group::GroupView& dest, const net::Payload& payload);
   void send_neighbor_updates();
   void heartbeat_tick();
   void evaluate_suspicions();

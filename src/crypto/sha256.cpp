@@ -126,6 +126,12 @@ Digest sha256(const Bytes& data) {
   return h.finish();
 }
 
+Digest sha256(const std::uint8_t* data, std::size_t len) {
+  Sha256 h;
+  h.update(data, len);
+  return h.finish();
+}
+
 Digest sha256(std::string_view data) {
   Sha256 h;
   h.update(data);

@@ -36,6 +36,7 @@ class Sha256 {
 };
 
 Digest sha256(const Bytes& data);
+Digest sha256(const std::uint8_t* data, std::size_t len);
 Digest sha256(std::string_view data);
 
 std::string to_hex(const Digest& d);

@@ -88,7 +88,7 @@ Bytes BroadcastOp::encode() const {
   w.u8(static_cast<std::uint8_t>(OpKind::kBroadcast));
   w.u64(bcast.origin);
   w.u64(bcast.seq);
-  w.bytes(payload);
+  w.bytes(payload.data(), payload.size());
   return w.take();
 }
 
@@ -108,7 +108,7 @@ Bytes StartWalkOp::encode() const {
   return w.take();
 }
 
-DecodedOp decode_op(const Bytes& wire) {
+DecodedOp decode_op(const net::Payload& wire) {
   ByteReader r(wire);
   DecodedOp op{};
   auto kind = r.u8();
@@ -117,7 +117,7 @@ DecodedOp decode_op(const Bytes& wire) {
       op.kind = OpKind::kBroadcast;
       op.broadcast.bcast.origin = r.u64();
       op.broadcast.bcast.seq = r.u64();
-      op.broadcast.payload = r.bytes();
+      op.broadcast.payload = wire.slice(r.bytes_view());
       break;
     case OpKind::kSuspect:
       op.kind = OpKind::kSuspect;

@@ -14,6 +14,7 @@
 
 #include "common/serde.h"
 #include "common/types.h"
+#include "net/message.h"
 #include "overlay/gossip.h"
 
 namespace atum::group {
@@ -82,9 +83,14 @@ enum class OpKind : std::uint8_t {
   kStartWalk = 3,   // group agreed to launch a random walk
 };
 
+// NOTE: the kBroadcast encoding (tag, origin, seq, length-prefixed payload)
+// is byte-identical to the core layer's kGmGossip group-message frame by
+// design: a decided broadcast op is relayed across the overlay verbatim,
+// without re-encoding. atum.cpp static_asserts the tag equality and
+// test_group pins the layout.
 struct BroadcastOp {
   BroadcastId bcast;
-  Bytes payload;
+  net::Payload payload;
   Bytes encode() const;
 };
 
@@ -107,7 +113,8 @@ struct DecodedOp {
   StartWalkOp walk;        // valid when kind == kStartWalk
 };
 
-// Throws SerdeError on malformed input (treat origin as faulty).
-DecodedOp decode_op(const Bytes& wire);
+// Throws SerdeError on malformed input (treat origin as faulty). A decoded
+// broadcast's payload is a refcounted slice of `wire` (no copy).
+DecodedOp decode_op(const net::Payload& wire);
 
 }  // namespace atum::group

@@ -2,8 +2,11 @@
 // payload is an opaque byte string produced by ByteWriter.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <utility>
 
 #include "common/serde.h"
@@ -40,38 +43,72 @@ enum class MsgType : std::uint16_t {
   kStreamChunk = 0x0505,
 };
 
-// Immutable, reference-counted message body.
+// Immutable, reference-counted view of a message body.
 //
-// A vgroup fan-out sends one byte string to every member of the destination
-// group (g = 7..20 recipients) and a gossip relay repeats that per overlay
-// neighbor, so the same buffer used to be deep-copied dozens of times per
-// broadcast. A Payload freezes the bytes once at construction; copying it
-// afterwards copies one shared_ptr. The buffer is truly immutable — senders
-// mutating their original Bytes after send() cannot affect in-flight
-// messages, and receivers cannot corrupt the copy other receivers see.
+// Ownership model (end-to-end, see README "Payload API"):
+//  * The PRODUCER freezes bytes exactly once — constructing a Payload from
+//    Bytes is the last copy/move that buffer will ever see. A vgroup
+//    fan-out (g = 7..20 recipients per destination group, times several
+//    neighbor groups per gossip relay) then shares that one buffer: copying
+//    a Payload copies one shared_ptr plus a range.
+//  * CONSUMERS decode without copying: slice() carves a sub-message (a
+//    group-message body, a decided SMR op, a broadcast payload) out of a
+//    received frame as a new Payload that shares the parent's buffer and
+//    keeps it alive. A frame is therefore materialized once per node and
+//    every layer above the transport works on views of it.
+//  * LIFETIME: a slice pins the whole parent buffer. That is the right
+//    trade for protocol frames (delivered promptly, then dropped); code
+//    that archives a tiny slice of a huge frame long-term should copy via
+//    to_bytes() instead.
+// The buffer is truly immutable — senders mutating their original Bytes
+// after send() cannot affect in-flight messages, and receivers cannot
+// corrupt the copy other receivers see.
 class Payload {
  public:
   Payload() : data_(empty_buffer()) {}
   // Implicit: freezes the bytes (one copy/move — the last one this buffer
   // will ever see).
-  Payload(Bytes bytes) : data_(std::make_shared<const Bytes>(std::move(bytes))) {}
+  Payload(Bytes bytes)
+      : data_(std::make_shared<const Bytes>(std::move(bytes))), size_(data_->size()) {}
   explicit Payload(std::shared_ptr<const Bytes> bytes)
-      : data_(bytes ? std::move(bytes) : empty_buffer()) {}
+      : data_(bytes ? std::move(bytes) : empty_buffer()), size_(data_->size()) {}
 
-  const Bytes& bytes() const { return *data_; }
-  operator const Bytes&() const { return *data_; }  // drop-in for ByteReader & friends
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint8_t* data() const { return data_->data() + offset_; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + size_; }
 
-  std::size_t size() const { return data_->size(); }
-  bool empty() const { return data_->empty(); }
-  const std::uint8_t* data() const { return data_->data(); }
-  Bytes::const_iterator begin() const { return data_->begin(); }
-  Bytes::const_iterator end() const { return data_->end(); }
+  // A Payload restricted to `view`, sharing (and keeping alive) this
+  // payload's buffer. `view` must lie inside this payload — the intended
+  // use is passing a range obtained from ByteReader::bytes_view() on this
+  // payload up the stack without copying.
+  Payload slice(std::span<const std::uint8_t> view) const {
+    if (!view.empty() && (view.data() < data() || view.data() + view.size() > end())) {
+      throw std::out_of_range("Payload::slice: view outside buffer");
+    }
+    Payload out;
+    out.data_ = data_;
+    out.offset_ = view.empty() ? offset_
+                               : offset_ + static_cast<std::size_t>(view.data() - data());
+    out.size_ = view.size();
+    return out;
+  }
+
+  // Deep copy, for the rare consumer that needs independent ownership.
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
 
   // How many Payload instances share this buffer (tests/benches: proves a
   // fan-out shared one allocation instead of copying).
   long use_count() const { return data_.use_count(); }
 
-  friend bool operator==(const Payload& a, const Payload& b) { return *a.data_ == *b.data_; }
+  // Content equality (also comparable against raw Bytes, e.g. in tests).
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const Payload& a, const Bytes& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
 
  private:
   static const std::shared_ptr<const Bytes>& empty_buffer() {
@@ -80,6 +117,8 @@ class Payload {
   }
 
   std::shared_ptr<const Bytes> data_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
 };
 
 struct Message {

@@ -138,9 +138,27 @@ void SimNetwork::block_link(NodeId a, NodeId b, bool blocked) {
   }
 }
 
+void SimNetwork::maybe_prune_flows() {
+  // A flow whose serialization horizons are in the past is indistinguishable
+  // from a fresh entry (depart/deliver clamp to now), so sweeping idle
+  // entries is exact: flows_ stays proportional to the nodes with traffic
+  // in flight instead of growing by one entry per node ever seen (unbounded
+  // under million-node churn). The allowance is snapshotted at sweep time
+  // (not compared against the live size, which can grow one-per-send and
+  // outrun any counter), making the sweep O(1) amortized per message.
+  if (++sends_since_flow_prune_ < flow_sweep_allowance_) return;
+  sends_since_flow_prune_ = 0;
+  const TimeMicros now = sim_.now();
+  std::erase_if(flows_, [now](const auto& kv) {
+    return kv.second.egress_free <= now && kv.second.ingress_free <= now;
+  });
+  flow_sweep_allowance_ = flows_.size() + kMinFlowSweep;
+}
+
 void SimNetwork::send(Message msg) {
   ++stats_.messages_sent;
   stats_.bytes_sent += msg.wire_size();
+  maybe_prune_flows();
 
   if (!link_ok(msg.from, msg.to) || !handlers_.contains(msg.to)) {
     ++stats_.messages_blocked;

@@ -87,6 +87,11 @@ class SimNetwork {
   const NetworkConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
 
+  // Per-node bandwidth-serialization entries currently tracked. Bounded by
+  // the nodes with traffic in flight, not by every node ever seen (idle
+  // entries are swept; see maybe_prune_flows).
+  std::size_t flow_count() const { return flows_.size(); }
+
   DurationMicros latency_between(NodeId from, NodeId to);
 
  private:
@@ -96,6 +101,7 @@ class SimNetwork {
   };
   bool link_ok(NodeId from, NodeId to) const;
   std::size_t region_of(NodeId node) const;
+  void maybe_prune_flows();
 
   struct NodeHandlers {
     MessageHandler fallback;
@@ -117,8 +123,12 @@ class SimNetwork {
     }
   };
 
+  static constexpr std::size_t kMinFlowSweep = 256;
+
   std::unordered_map<NodeId, NodeHandlers> handlers_;
   std::unordered_map<NodeId, Flow> flows_;
+  std::uint64_t sends_since_flow_prune_ = 0;
+  std::size_t flow_sweep_allowance_ = kMinFlowSweep;
   std::unordered_set<NodeId> isolated_;
   std::unordered_set<LinkKey, LinkKeyHash> blocked_links_;
   NetworkStats stats_;

@@ -5,11 +5,11 @@
 namespace atum::overlay {
 
 ForwardFn forward_flood() {
-  return [](const BroadcastId&, const Bytes&, const NeighborRef&) { return true; };
+  return [](const BroadcastId&, const net::Payload&, const NeighborRef&) { return true; };
 }
 
 ForwardFn forward_cycles(std::set<std::size_t> cycles) {
-  return [cycles = std::move(cycles)](const BroadcastId&, const Bytes&,
+  return [cycles = std::move(cycles)](const BroadcastId&, const net::Payload&,
                                       const NeighborRef& n) { return cycles.contains(n.cycle); };
 }
 
@@ -22,7 +22,7 @@ ForwardFn forward_random(double p, std::uint64_t seed) {
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
   };
-  return [p, seed, mix](const BroadcastId& id, const Bytes&, const NeighborRef& n) {
+  return [p, seed, mix](const BroadcastId& id, const net::Payload&, const NeighborRef& n) {
     std::uint64_t h = mix(seed);
     for (std::uint64_t v :
          {id.origin, id.seq, static_cast<std::uint64_t>(n.group),
@@ -36,14 +36,14 @@ ForwardFn forward_random(double p, std::uint64_t seed) {
 }
 
 ForwardFn forward_none() {
-  return [](const BroadcastId&, const Bytes&, const NeighborRef&) { return false; };
+  return [](const BroadcastId&, const net::Payload&, const NeighborRef&) { return false; };
 }
 
 bool GossipState::first_sighting(const BroadcastId& id) { return seen_.insert(id).second; }
 
 bool GossipState::seen(const BroadcastId& id) const { return seen_.contains(id); }
 
-std::vector<NeighborRef> GossipState::relays(const BroadcastId& id, const Bytes& payload,
+std::vector<NeighborRef> GossipState::relays(const BroadcastId& id, const net::Payload& payload,
                                              const std::vector<NeighborRef>& neighbors) const {
   std::vector<NeighborRef> out;
   for (const NeighborRef& n : neighbors) {

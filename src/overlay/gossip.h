@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/types.h"
+#include "net/message.h"
 
 namespace atum::overlay {
 
@@ -30,9 +31,11 @@ struct NeighborRef {
   friend bool operator==(const NeighborRef&, const NeighborRef&) = default;
 };
 
-// The application's §3.3.4 `forward(message, neighbor)` callback.
-using ForwardFn =
-    std::function<bool(const BroadcastId& id, const Bytes& payload, const NeighborRef& neighbor)>;
+// The application's §3.3.4 `forward(message, neighbor)` callback. The
+// payload is a refcounted view of the broadcast body (shared with every
+// other consumer of the frame — do not expect a private copy).
+using ForwardFn = std::function<bool(const BroadcastId& id, const net::Payload& payload,
+                                     const NeighborRef& neighbor)>;
 
 // Built-in forwarding policies.
 // Latency-optimal: relay to every neighbor on every cycle (flooding).
@@ -59,7 +62,7 @@ class GossipState {
 
   // Relay decision for one broadcast across the group's neighbor set;
   // always includes the deterministic cycle-0 successor link.
-  std::vector<NeighborRef> relays(const BroadcastId& id, const Bytes& payload,
+  std::vector<NeighborRef> relays(const BroadcastId& id, const net::Payload& payload,
                                   const std::vector<NeighborRef>& neighbors) const;
 
   std::size_t seen_count() const { return seen_.size(); }

@@ -6,11 +6,11 @@ namespace atum::overlay {
 
 namespace {
 
-Bytes encode_full(GroupMessageId id, const Bytes& payload) {
+Bytes encode_full(GroupMessageId id, const net::Payload& payload) {
   ByteWriter w;
   w.u64(id.from_group);
   w.u64(id.seq);
-  w.bytes(payload);
+  w.bytes(payload.data(), payload.size());
   return w.take();
 }
 
@@ -25,7 +25,7 @@ Bytes encode_digest(GroupMessageId id, const crypto::Digest& d) {
 }  // namespace
 
 PreparedGroupMessage::PreparedGroupMessage(const std::vector<NodeId>& senders, NodeId self,
-                                           GroupMessageId id, const Bytes& payload) {
+                                           GroupMessageId id, const net::Payload& payload) {
   // Rank of the local node among the (sorted) senders decides full vs digest.
   auto it = std::find(senders.begin(), senders.end(), self);
   std::size_t rank = static_cast<std::size_t>(it - senders.begin());
@@ -33,8 +33,9 @@ PreparedGroupMessage::PreparedGroupMessage(const std::vector<NodeId>& senders, N
   bool send_full = rank < full_count;
 
   // Freeze the encoded frame once; every recipient shares the same buffer.
-  wire_ = net::Payload(send_full ? encode_full(id, payload)
-                                 : encode_digest(id, crypto::sha256(payload)));
+  wire_ = net::Payload(send_full
+                           ? encode_full(id, payload)
+                           : encode_digest(id, crypto::sha256(payload.data(), payload.size())));
   type_ = send_full ? net::MsgType::kGroupMsgFull : net::MsgType::kGroupMsgDigest;
 }
 
@@ -49,7 +50,7 @@ void PreparedGroupMessage::send_to(net::Transport& transport,
 
 void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
                         GroupMessageId id, const std::vector<NodeId>& destination,
-                        const Bytes& payload, Rng& rng) {
+                        const net::Payload& payload, Rng& rng) {
   PreparedGroupMessage(senders, transport.self(), id, payload).send_to(transport, destination, rng);
 }
 
@@ -61,18 +62,33 @@ GroupMessageReceiver::GroupMessageReceiver(net::Transport transport, DeliverFn d
 
 GroupMessageReceiver::~GroupMessageReceiver() { transport_.close(); }
 
+void GroupMessageReceiver::gc_tombstones() {
+  const TimeMicros now = transport_.simulator().now();
+  while (!gc_queue_.empty() && gc_queue_.front().first <= now) {
+    auto it = pending_.find(gc_queue_.front().second);
+    // The entry's own deadline is authoritative: delivery pushes it past
+    // the creation-time queue entry, so a freshly delivered tombstone is
+    // skipped here and collected by its second queue entry.
+    if (it != pending_.end() && it->second.expires_at <= now) pending_.erase(it);
+    gc_queue_.pop_front();
+  }
+}
+
 void GroupMessageReceiver::on_message(const net::Message& msg) {
+  gc_tombstones();
+
   GroupMessageId id;
   crypto::Digest digest;
-  Bytes payload;
+  net::Payload payload;
   bool is_full = msg.type == net::MsgType::kGroupMsgFull;
   try {
     ByteReader r(msg.payload);
     id.from_group = r.u64();
     id.seq = r.u64();
     if (is_full) {
-      payload = r.bytes();
-      digest = crypto::sha256(payload);
+      // Zero-copy: the body is a refcounted slice of the arriving frame.
+      payload = msg.payload.slice(r.bytes_view());
+      digest = crypto::sha256(payload.data(), payload.size());
     } else {
       r.raw(digest.data(), digest.size());
     }
@@ -84,6 +100,12 @@ void GroupMessageReceiver::on_message(const net::Message& msg) {
   if (membership_ && !membership_(id.from_group, msg.from)) return;
 
   Pending& p = pending_[id];
+  if (p.expires_at == 0) {
+    // New entry: even if it never delivers (digest-only flood, content
+    // short of majority, unknown sender group) it expires after an epoch.
+    p.expires_at = transport_.simulator().now() + tombstone_ttl_;
+    gc_queue_.emplace_back(p.expires_at, id);
+  }
   if (p.delivered) return;
 
   auto& vouchers = p.vouches[digest];
@@ -108,12 +130,15 @@ void GroupMessageReceiver::try_deliver(const GroupMessageId& id, Pending& p) {
     auto pit = p.payloads.find(digest);
     if (pit == p.payloads.end()) continue;  // majority but no full copy yet
     p.delivered = true;
-    // Keep the tombstone so duplicates are not re-delivered; drop the data.
-    Bytes payload = std::move(pit->second.first);
+    // Keep the tombstone (for a full epoch from now) so duplicates are not
+    // re-delivered; drop the buffered data now.
+    net::Payload payload = std::move(pit->second.first);
     NodeId relay = pit->second.second;
     p.vouches.clear();
     p.payloads.clear();
-    deliver_(id, relay, payload);
+    p.expires_at = transport_.simulator().now() + tombstone_ttl_;
+    gc_queue_.emplace_back(p.expires_at, id);
+    deliver_(id, relay, std::move(payload));
     return;
   }
 }

@@ -10,9 +10,17 @@
 //    correct node, so at least one full copy always arrives;
 //  * randomized send order — each sender permutes the destination list to
 //    avoid the synchronized bursts that cause incast throughput collapse.
+//
+// Payload ownership (zero-copy path): the sender encodes + freezes the wire
+// frame exactly once per node (PreparedGroupMessage) and every destination
+// member shares that buffer. The receiver decodes the body as a refcounted
+// slice of the arriving frame (net::Payload::slice) — it is buffered in
+// Pending and handed to DeliverFn without ever being copied, so a node
+// materializes no bytes on the receive path at all.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -41,7 +49,7 @@ struct GroupMessageId {
 class PreparedGroupMessage {
  public:
   PreparedGroupMessage(const std::vector<NodeId>& senders, NodeId self, GroupMessageId id,
-                       const Bytes& payload);
+                       const net::Payload& payload);
 
   // Sends to every member of `destination`, in randomized order (§5.1:
   // avoid the synchronized bursts that cause incast throughput collapse).
@@ -56,15 +64,17 @@ class PreparedGroupMessage {
 // Convenience wrapper: prepare + send to one destination group.
 void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
                         GroupMessageId id, const std::vector<NodeId>& destination,
-                        const Bytes& payload, Rng& rng);
+                        const net::Payload& payload, Rng& rng);
 
 // Per-node acceptance logic. Collects vouches until a majority of the
 // sending group agrees on one digest and a full payload with that digest
 // has arrived, then delivers exactly once.
 class GroupMessageReceiver {
  public:
+  // The delivered payload is a refcounted slice of the relay's wire frame
+  // (zero-copy); keep it as a Payload or slice it further, don't copy.
   using DeliverFn =
-      std::function<void(const GroupMessageId& id, NodeId relay, const Bytes& payload)>;
+      std::function<void(const GroupMessageId& id, NodeId relay, net::Payload payload)>;
   // Resolves the size of a sending vgroup; acceptance needs the true size,
   // not a size claimed on the wire by a possibly-Byzantine sender. Return
   // nullopt for unknown groups (their messages stay buffered).
@@ -81,29 +91,53 @@ class GroupMessageReceiver {
   void set_group_size_fn(GroupSizeFn fn) { group_size_ = std::move(fn); }
   void set_membership_fn(MembershipFn fn) { membership_ = std::move(fn); }
 
+  // Every pending_ entry expires one epoch of simulated time after its
+  // last activity (creation, or delivery), then gets garbage-collected:
+  //  * delivered entries stay behind as tombstones so straggler duplicates
+  //    are not re-delivered — but not forever;
+  //  * undelivered entries (digest-only floods from a Byzantine member,
+  //    below-majority content, unknown sender groups) are buffering that
+  //    timed out — without an expiry one faulty node minting fresh ids
+  //    grows the map without bound.
+  // A duplicate arriving later than the TTL would be re-delivered; higher
+  // layers dedup semantically (GossipState first-sighting, walk nonces),
+  // so the TTL only needs to exceed relay straggler latency, not be
+  // infinite.
+  void set_tombstone_ttl(DurationMicros ttl) { tombstone_ttl_ = ttl; }
+
   // Re-evaluates buffered messages (e.g. after learning a group's
   // composition through a neighbor update).
   void reevaluate();
 
+  // Buffered undelivered messages + not-yet-collected tombstones.
   std::size_t pending_count() const { return pending_.size(); }
 
  private:
   struct Pending {
     // digest -> distinct vouching senders
     std::map<crypto::Digest, std::vector<NodeId>> vouches;
-    // digest -> (full payload, first relay that provided it)
-    std::map<crypto::Digest, std::pair<Bytes, NodeId>> payloads;
+    // digest -> (full payload slice, first relay that provided it)
+    std::map<crypto::Digest, std::pair<net::Payload, NodeId>> payloads;
     bool delivered = false;
+    // GC deadline; pushed forward on delivery so tombstones get a full
+    // epoch of dedup from the moment they deliver.
+    TimeMicros expires_at = 0;
   };
 
   void on_message(const net::Message& msg);
   void try_deliver(const GroupMessageId& id, Pending& p);
+  void gc_tombstones();
 
   net::Transport transport_;
   DeliverFn deliver_;
   GroupSizeFn group_size_;
   MembershipFn membership_;
   std::map<GroupMessageId, Pending> pending_;
+  DurationMicros tombstone_ttl_ = 60 * kMicrosPerSecond;
+  // Candidate GC deadlines in arrival order (an id appears once at
+  // creation and once more if delivered — the entry's own expires_at is
+  // authoritative); swept lazily on message arrival, O(1) amortized.
+  std::deque<std::pair<TimeMicros, GroupMessageId>> gc_queue_;
 };
 
 }  // namespace atum::overlay

@@ -18,10 +18,13 @@ EventId Simulator::schedule_at(TimeMicros t, EventFn fn) {
     idx = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    idx = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    idx = static_cast<std::uint32_t>(slot_count_);
+    if ((slot_count_ & kSlotChunkMask) == 0) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    ++slot_count_;
   }
-  Slot& s = slots_[idx];
+  Slot& s = slot_at(idx);
   s.fn = std::move(fn);
   s.armed = true;
   EventId id = make_id(s.gen, idx);
@@ -37,7 +40,7 @@ EventId Simulator::schedule_after(DurationMicros delay, EventFn fn) {
 }
 
 void Simulator::release_slot(std::uint32_t idx) {
-  Slot& s = slots_[idx];
+  Slot& s = slot_at(idx);
   s.fn = nullptr;  // reclaim the closure now, not at pop time
   s.armed = false;
   if (++s.gen == 0) s.gen = 1;  // keep handles non-zero across wraparound
@@ -69,22 +72,34 @@ bool Simulator::settle_top() {
   return false;
 }
 
-void Simulator::execute(TimeMicros at, EventFn fn) {
-  now_ = at;
-  ++executed_;
-  fn();
-}
-
 bool Simulator::step() {
   if (!settle_top()) return false;
   Entry e = heap_.front();
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   heap_.pop_back();
   std::uint32_t idx = index_of(e.id);
-  EventFn fn = std::move(slots_[idx].fn);
-  release_slot(idx);
+  Slot& s = slot_at(idx);
+  // Disarm first: the handle dies and cancel() on it no-ops. The chunked
+  // arena is address-stable, so the closure runs IN PLACE even if it
+  // schedules new events; the slot is destroyed and recycled only after it
+  // returns (a nested schedule can never be handed this slot meanwhile —
+  // it is neither armed nor on the free list).
+  s.armed = false;
+  if (++s.gen == 0) s.gen = 1;
   --live_;
-  execute(e.at, std::move(fn));
+  now_ = e.at;
+  ++executed_;
+  try {
+    s.fn();
+  } catch (...) {
+    // A throwing handler must not leak the slot (or the Payload buffers
+    // its closure pins): recycle before propagating.
+    s.fn = nullptr;
+    free_slots_.push_back(idx);
+    throw;
+  }
+  s.fn = nullptr;
+  free_slots_.push_back(idx);
   return true;
 }
 

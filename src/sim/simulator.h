@@ -5,8 +5,12 @@
 // Events with equal timestamps fire in scheduling order (stable), which
 // together with seeded RNG makes whole experiments bit-reproducible.
 //
-// Storage model: event closures live in a generation-stamped slot arena;
-// the heap orders lightweight {time, seq, id} entries. cancel() is O(1)
+// Storage model: event closures live in a generation-stamped slot arena of
+// fixed-size chunks (stable addresses — closures are placed once and
+// execute in place, never relocated); the heap orders lightweight
+// {time, seq, id} entries. Closures are held in EventFn, a small-buffer-
+// optimized callable sized for the message-delivery closure, so the
+// per-event hot path performs no heap allocation at all. cancel() is O(1)
 // amortized — it frees the closure and recycles the slot immediately, and
 // stale heap entries are swept by periodic compaction once they outnumber
 // the live ones. Under churn (schedule/cancel cycles, e.g. heartbeat
@@ -14,15 +18,149 @@
 // *pending* events, not to the number ever scheduled or cancelled.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace atum::sim {
 
-using EventFn = std::function<void()>;
+// Move-only callable for simulator events, with small-buffer-optimized
+// storage.
+//
+// Every simulated message delivery schedules one closure capturing the
+// network pointer plus the Message being delivered (~64 bytes with a
+// refcounted sliced Payload). std::function's small-object buffer (16
+// bytes on libstdc++) pushed every such closure onto the heap, making
+// allocator traffic the dominant cost of bench_micro fan-out. EventFn
+// sizes its inline buffer for that delivery closure; larger callables
+// fall back to the heap transparently. test_sim pins the delivery shape
+// to the inline path.
+class EventFn {
+ public:
+  // Exactly fits the delivery closure (SimNetwork* + Message with its
+  // 32-byte sliced Payload). Growing Message pushes deliveries onto the
+  // heap-fallback path — test_sim pins the inline invariant so that shows
+  // up as a test failure, not a silent perf cliff.
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_v<std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT: implicit, drop-in for std::function<void()>
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= 8 &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { take(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  // Empty EventFns throw like std::function would (rather than chasing a
+  // null ops_): scheduling a nullptr event stays a catchable mistake.
+  void operator()() {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    ops_->invoke(storage_);
+  }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  // True when the callable lives in the inline buffer (no heap
+  // allocation); introspection for the zero-allocation regression tests.
+  bool stores_inline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move into dst + destroy src. nullptr => relocation is a plain memcpy
+    // of `size` bytes (trivially-copyable closures, and the heap case
+    // where the buffer only holds a pointer) — the hot-path moves then
+    // reduce to a small copy instead of an indirect call.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;  // nullptr => trivially destructible
+    std::uint32_t size;               // callable footprint in the buffer
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops kOps{
+        [](void* s) { (*static_cast<Fn*>(s))(); },
+        std::is_trivially_copyable_v<Fn>
+            ? nullptr
+            : +[](void* dst, void* src) noexcept {
+                Fn* f = static_cast<Fn*>(src);
+                ::new (dst) Fn(std::move(*f));
+                f->~Fn();
+              },
+        std::is_trivially_destructible_v<Fn>
+            ? nullptr
+            : +[](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+        /*size=*/sizeof(Fn),
+        /*inline_stored=*/true};
+    return &kOps;
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops kOps{
+        [](void* s) { (**static_cast<Fn**>(s))(); },
+        /*relocate=*/nullptr,  // buffer holds one pointer: memcpy moves it
+        [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+        /*size=*/sizeof(Fn*),
+        /*inline_stored=*/false};
+    return &kOps;
+  }
+
+  void take(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, other.ops_->size);
+      }
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(8) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
 // Event handle: generation (high 32 bits) | slot index (low 32 bits).
 // Generations start at 1, so a valid handle is never 0 and a handle stays
 // invalid forever once its event fired or was cancelled, even after the
@@ -61,7 +199,7 @@ class Simulator {
   // Introspection for memory-bound tests/benches: heap entries (live +
   // not-yet-swept stale) and arena size (peak concurrent live events).
   std::size_t heap_size() const { return heap_.size(); }
-  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t slot_count() const { return slot_count_; }
 
  private:
   struct Slot {
@@ -69,6 +207,21 @@ class Simulator {
     std::uint32_t gen = 1;
     bool armed = false;
   };
+  // Slots live in fixed-size chunks so their addresses are stable: an
+  // event's closure executes IN PLACE (no move out of the arena) even when
+  // the callback schedules new events and grows the arena. Together with
+  // EventFn's inline storage this makes the per-event hot path zero-alloc
+  // and zero-relocation.
+  static constexpr std::size_t kSlotChunkShift = 8;  // 256 slots per chunk
+  static constexpr std::size_t kSlotChunkSize = std::size_t{1} << kSlotChunkShift;
+  static constexpr std::size_t kSlotChunkMask = kSlotChunkSize - 1;
+
+  Slot& slot_at(std::uint32_t idx) {
+    return slot_chunks_[idx >> kSlotChunkShift][idx & kSlotChunkMask];
+  }
+  const Slot& slot_at(std::uint32_t idx) const {
+    return slot_chunks_[idx >> kSlotChunkShift][idx & kSlotChunkMask];
+  }
   struct Entry {
     TimeMicros at;
     std::uint64_t seq;  // FIFO among same-time events
@@ -89,14 +242,15 @@ class Simulator {
 
   bool slot_matches(EventId id) const {
     std::uint32_t idx = index_of(id);
-    return idx < slots_.size() && slots_[idx].armed && slots_[idx].gen == gen_of(id);
+    if (idx >= slot_count_) return false;
+    const Slot& s = slot_at(idx);
+    return s.armed && s.gen == gen_of(id);
   }
   // Frees the closure, invalidates outstanding handles, recycles the slot.
   void release_slot(std::uint32_t idx);
   // Pops heap entries until the top is live; returns false if none is.
   bool settle_top();
   void maybe_compact();
-  void execute(TimeMicros at, EventFn fn);
 
   TimeMicros now_ = 0;
   std::uint64_t next_seq_ = 0;
@@ -104,7 +258,8 @@ class Simulator {
   std::uint64_t live_ = 0;
   std::uint64_t stale_in_heap_ = 0;
   std::vector<Entry> heap_;  // binary min-heap via std::push_heap/pop_heap
-  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::size_t slot_count_ = 0;  // slots ever minted (peak concurrent live events)
   std::vector<std::uint32_t> free_slots_;
 };
 

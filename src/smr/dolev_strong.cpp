@@ -29,7 +29,7 @@ Bytes encode_wire(const WireValue& v) {
   return w.take();
 }
 
-WireValue decode_wire(const Bytes& buf) {
+WireValue decode_wire(const net::Payload& buf) {
   ByteReader r(buf);
   WireValue v;
   v.slot = r.u64();
@@ -251,12 +251,16 @@ void DolevStrongSmr::finish_slot() {
   // value is a batch of operations from its origin.
   for (auto& [key, v] : slot_values_) {
     if (equivocators_.contains(key.first)) continue;
+    // Freeze the accepted batch once (a move — slot_values_ is discarded
+    // below); each decided op travels up the stack as a slice of it.
+    net::Payload batch(std::move(v.payload));
     try {
-      ByteReader r(v.payload);
-      auto ops = r.vec<Bytes>([](ByteReader& br) { return br.bytes(); });
+      ByteReader r(batch);
+      auto views = r.vec<std::span<const std::uint8_t>>(
+          [](ByteReader& br) { return br.bytes_view(); });
       r.expect_done();
-      for (const Bytes& op : ops) {
-        if (decide_) decide_(decided_, v.origin, op);
+      for (const auto& view : views) {
+        if (decide_) decide_(decided_, v.origin, batch.slice(view));
         ++decided_;
       }
     } catch (const SerdeError&) {

@@ -311,7 +311,10 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
     exec_history_.push_back(ExecRecord{req.id.origin, req.id.seq, req.op});
   }
   if (!is_null && !duplicate && decide_) {
-    decide_(seq - 1, req.id.origin, req.op);
+    // Freeze a copy at the engine boundary: the log retains req.op for view
+    // changes / state transfer, so the decided op cannot be moved out.
+    // Everything above this point shares the frozen buffer copy-free.
+    decide_(seq - 1, req.id.origin, net::Payload(req.op));
   }
   if (!is_null) assigned_or_executed_.insert(req.id);
   pending_.erase(req.id);
@@ -460,7 +463,7 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
       executed_requests_.insert(RequestId{rec.origin, rec.origin_seq});
       assigned_or_executed_.insert(RequestId{rec.origin, rec.origin_seq});
       pending_.erase(RequestId{rec.origin, rec.origin_seq});
-      if (decide_) decide_(seq - 1, rec.origin, rec.op);
+      if (decide_) decide_(seq - 1, rec.origin, net::Payload(rec.op));
     }
     next_exec_ = seq;
   }

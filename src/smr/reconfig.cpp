@@ -37,8 +37,9 @@ void ReconfigurableSmr::stop() {
 
 void ReconfigurableSmr::start_engine() {
   engine_ = make_engine(net::Transport(net_, self_), config_, keys_, options_);
-  engine_->set_decide_handler(
-      [this](std::uint64_t, NodeId origin, const Bytes& op) { on_engine_decide(origin, op); });
+  engine_->set_decide_handler([this](std::uint64_t, NodeId origin, const net::Payload& op) {
+    on_engine_decide(origin, op);
+  });
   // Reconfiguration must not lose in-flight proposals (SMART carries them
   // into the next configuration's instance).
   for (const Bytes& op : unacked_) {
@@ -65,8 +66,9 @@ void ReconfigurableSmr::propose_reconfig(GroupConfig new_config) {
   if (engine_) engine_->propose(std::move(wrapped));
 }
 
-void ReconfigurableSmr::on_engine_decide(NodeId origin, const Bytes& wrapped) {
+void ReconfigurableSmr::on_engine_decide(NodeId origin, const net::Payload& wrapped) {
   if (origin == self_) {
+    // Payload <-> Bytes content equality, no materialization.
     auto it = std::find(unacked_.begin(), unacked_.end(), wrapped);
     if (it != unacked_.end()) unacked_.erase(it);
   }
@@ -76,7 +78,7 @@ void ReconfigurableSmr::on_engine_decide(NodeId origin, const Bytes& wrapped) {
   try {
     tag = r.u8();
     if (tag == kAppOp) {
-      Bytes op = r.bytes();
+      net::Payload op = wrapped.slice(r.bytes_view());  // unwrap without copying
       std::uint64_t seq = global_seq_++;
       if (decide_) decide_(seq, origin, op);
       return;

@@ -63,7 +63,7 @@ class ReconfigurableSmr {
 
  private:
   void start_engine();
-  void on_engine_decide(NodeId origin, const Bytes& wrapped);
+  void on_engine_decide(NodeId origin, const net::Payload& wrapped);
 
   net::SimNetwork& net_;
   NodeId self_;

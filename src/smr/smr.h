@@ -13,6 +13,7 @@
 
 #include "common/serde.h"
 #include "common/types.h"
+#include "net/message.h"
 
 namespace atum::smr {
 
@@ -36,8 +37,10 @@ struct GroupConfig {
 };
 
 // Invoked exactly once per decided slot, in sequence order, with identical
-// (seq, origin, op) at every correct replica.
-using DecideFn = std::function<void(std::uint64_t seq, NodeId origin, const Bytes& op)>;
+// (seq, origin, op) at every correct replica. The op is a refcounted
+// Payload frozen once at the engine boundary; consumers slice it further
+// (unwrap, decode) without copying.
+using DecideFn = std::function<void(std::uint64_t seq, NodeId origin, const net::Payload& op)>;
 
 // Fault threshold rules (paper §3.1).
 inline std::size_t sync_max_faults(std::size_t g) { return g == 0 ? 0 : (g - 1) / 2; }

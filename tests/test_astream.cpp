@@ -38,7 +38,7 @@ struct AStreamFixture : ::testing::Test {
     sys->deploy(ids);
     for (NodeId i = 0; i < n; ++i) {
       nodes[i] = std::make_unique<AStreamNode>(*sys, i, cfg);
-      nodes[i]->set_chunk_handler([this, i](std::uint64_t seq, const Bytes&) {
+      nodes[i]->set_chunk_handler([this, i](std::uint64_t seq, const net::Payload&) {
         delivered[i].push_back(seq);
       });
     }

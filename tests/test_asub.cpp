@@ -20,7 +20,7 @@ core::Params fast_params() {
   return p;
 }
 
-std::string text(const Bytes& b) { return std::string(b.begin(), b.end()); }
+std::string text(const net::Payload& b) { return std::string(b.begin(), b.end()); }
 Bytes event(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 struct ASubFixture : ::testing::Test {
@@ -28,7 +28,7 @@ struct ASubFixture : ::testing::Test {
   std::map<NodeId, std::vector<std::string>> inbox;
 
   void watch(Topic& t, NodeId n) {
-    t.set_event_handler(n, [this, n](NodeId, const Bytes& e) { inbox[n].push_back(text(e)); });
+    t.set_event_handler(n, [this, n](NodeId, const net::Payload& e) { inbox[n].push_back(text(e)); });
   }
 };
 

@@ -90,7 +90,7 @@ TEST(Params, RecommendedIsConsistent) {
 
 struct CoreFixture : ::testing::Test {
   std::unique_ptr<AtumSystem> sys;
-  std::map<NodeId, std::vector<Bytes>> delivered;
+  std::map<NodeId, std::vector<net::Payload>> delivered;
 
   void deploy(std::size_t n, Params p = fast_params(),
               const std::map<NodeId, NodeBehavior>& behaviors = {}) {
@@ -100,7 +100,7 @@ struct CoreFixture : ::testing::Test {
       ids.push_back(i);
       auto it = behaviors.find(i);
       auto& node = sys->add_node(i, it == behaviors.end() ? NodeBehavior::kCorrect : it->second);
-      node.set_deliver([this, i](NodeId, const Bytes& payload) {
+      node.set_deliver([this, i](NodeId, const net::Payload& payload) {
         delivered[i].push_back(payload);
       });
     }
@@ -160,6 +160,29 @@ TEST_F(CoreFixture, BroadcastDeliveredExactlyOnce) {
     for (const auto& m : msgs) count += (m == msg("once"));
     EXPECT_EQ(count, 1) << "node " << n;
   }
+}
+
+TEST_F(CoreFixture, FanOutMaterializesFewBuffersAcrossNodes) {
+  // Zero-copy invariant, end to end: members of the origin's vgroup each
+  // materialize the decided op once (per-node buffers), while members of
+  // neighbor vgroups receive slices of the relayers' wire frames — a
+  // majority of relayers freeze one frame each, shared by every recipient.
+  // So the number of distinct backing buffers across all deliveries is
+  // bounded by origin-group size + full-relayer count, strictly below the
+  // node count.
+  deploy(15);
+  sys->node(0).broadcast(Bytes(512, 0xAB));
+  run_for(seconds(20));
+  std::set<const void*> buffers;
+  std::size_t total = 0;
+  for (const auto& [n, msgs] : delivered) {
+    for (const net::Payload& p : msgs) {
+      buffers.insert(p.data());
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 15u);
+  EXPECT_LT(buffers.size(), total);
 }
 
 TEST_F(CoreFixture, ManyBroadcastersAllDeliver) {
@@ -255,7 +278,7 @@ TEST_F(CoreFixture, JoinedNodeReceivesLaterBroadcasts) {
   sys = std::make_unique<AtumSystem>(fast_params(), net::NetworkConfig::datacenter(), 4);
   sys->add_node(0).bootstrap();
   auto& j = sys->add_node(1);
-  j.set_deliver([this](NodeId, const Bytes& p) { delivered[1].push_back(p); });
+  j.set_deliver([this](NodeId, const net::Payload& p) { delivered[1].push_back(p); });
   j.join(0);
   run_for(seconds(30));
   ASSERT_TRUE(j.joined());
@@ -389,7 +412,7 @@ TEST_P(CoreEngineSweep, BroadcastAtModerateScale) {
   std::map<NodeId, int> got;
   for (NodeId i = 0; i < 40; ++i) {
     ids.push_back(i);
-    sys.add_node(i).set_deliver([&got, i](NodeId, const Bytes&) { ++got[i]; });
+    sys.add_node(i).set_deliver([&got, i](NodeId, const net::Payload&) { ++got[i]; });
   }
   sys.deploy(ids);
   sys.node(7).broadcast(Bytes{1, 2, 3});

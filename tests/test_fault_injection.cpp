@@ -37,8 +37,8 @@ struct LossyPbft : ::testing::Test {
     opt.view_change_timeout = millis(500);
     for (NodeId n = 0; n < g; ++n) {
       auto r = std::make_unique<smr::PbftSmr>(net::Transport(*net, n), group, keys, opt);
-      r->set_decide_handler([this, n](std::uint64_t, NodeId, const Bytes& op) {
-        decided[n].push_back(op);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId, const net::Payload& op) {
+        decided[n].push_back(op.to_bytes());
       });
       replicas.push_back(std::move(r));
     }
@@ -123,8 +123,8 @@ TEST(LossyDolevStrong, SafetyUnderLoss) {
   std::vector<std::unique_ptr<smr::DolevStrongSmr>> rs;
   for (NodeId n = 0; n < 5; ++n) {
     auto r = std::make_unique<smr::DolevStrongSmr>(net::Transport(net, n), group, keys, opt);
-    r->set_decide_handler([&decided, n](std::uint64_t, NodeId o, const Bytes& op) {
-      decided[n].emplace_back(o, op);
+    r->set_decide_handler([&decided, n](std::uint64_t, NodeId o, const net::Payload& op) {
+      decided[n].emplace_back(o, op.to_bytes());
     });
     rs.push_back(std::move(r));
   }
@@ -164,7 +164,7 @@ struct PartitionedAtum : ::testing::Test {
     std::vector<NodeId> ids;
     for (NodeId i = 0; i < n; ++i) {
       ids.push_back(i);
-      sys->add_node(i).set_deliver([this, i](NodeId, const Bytes&) { ++got[i]; });
+      sys->add_node(i).set_deliver([this, i](NodeId, const net::Payload&) { ++got[i]; });
     }
     sys->deploy(ids);
   }

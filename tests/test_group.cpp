@@ -97,6 +97,37 @@ TEST(VGroupOps, GarbageRejected) {
   EXPECT_THROW(decode_op(Bytes{}), SerdeError);
 }
 
+TEST(VGroupOps, BroadcastDecodeIsZeroCopySlice) {
+  BroadcastOp op;
+  op.bcast = BroadcastId{7, 9};
+  op.payload = net::Payload(Bytes(100, 0xEE));
+  net::Payload wire(op.encode());
+  auto d = decode_op(wire);
+  ASSERT_EQ(d.kind, OpKind::kBroadcast);
+  EXPECT_EQ(d.broadcast.payload, op.payload);
+  // The decoded payload points into the decided op's buffer — a refcounted
+  // slice, not a copy.
+  EXPECT_GE(d.broadcast.payload.data(), wire.data());
+  EXPECT_LE(d.broadcast.payload.data() + d.broadcast.payload.size(),
+            wire.data() + wire.size());
+  EXPECT_EQ(d.broadcast.payload.use_count(), wire.use_count());
+}
+
+TEST(VGroupOps, BroadcastOpEncodingIsTheGossipFrame) {
+  // The core layer relays a decided broadcast op verbatim as the kGmGossip
+  // group-message body (atum.cpp static_asserts the tag equality); pin the
+  // byte layout both sides rely on.
+  BroadcastOp op;
+  op.bcast = BroadcastId{0x1122, 0x3344};
+  op.payload = net::Payload(Bytes{9, 8, 7});
+  ByteWriter w;
+  w.u8(1);  // kGmGossip == OpKind::kBroadcast
+  w.u64(0x1122);
+  w.u64(0x3344);
+  w.bytes(Bytes{9, 8, 7});
+  EXPECT_EQ(op.encode(), w.take());
+}
+
 // ---------------------------------------------------------------------------
 // ClusterSim
 // ---------------------------------------------------------------------------

@@ -31,14 +31,14 @@ core::Params fast_params(smr::EngineKind kind = smr::EngineKind::kSync) {
 
 struct IntegrationFixture : ::testing::Test {
   std::unique_ptr<core::AtumSystem> sys;
-  std::map<NodeId, std::vector<Bytes>> delivered;
+  std::map<NodeId, std::vector<net::Payload>> delivered;
 
   void deploy(std::size_t n, core::Params p = fast_params()) {
     sys = std::make_unique<core::AtumSystem>(p, net::NetworkConfig::datacenter(), 1717);
     std::vector<NodeId> ids;
     for (NodeId i = 0; i < n; ++i) {
       ids.push_back(i);
-      sys->add_node(i).set_deliver([this, i](NodeId, const Bytes& payload) {
+      sys->add_node(i).set_deliver([this, i](NodeId, const net::Payload& payload) {
         delivered[i].push_back(payload);
       });
     }
@@ -59,7 +59,7 @@ struct IntegrationFixture : ::testing::Test {
 TEST_F(IntegrationFixture, BroadcastDuringJoin) {
   deploy(18);
   auto& joiner = sys->add_node(100);
-  joiner.set_deliver([this](NodeId, const Bytes& p) { delivered[100].push_back(p); });
+  joiner.set_deliver([this](NodeId, const net::Payload& p) { delivered[100].push_back(p); });
   joiner.join(0);
   // Broadcast while the join is in flight: existing nodes must deliver.
   sys->node(3).broadcast(Bytes{0x11});
@@ -93,7 +93,7 @@ TEST_F(IntegrationFixture, SequentialChurnWithTraffic) {
   for (int round = 0; round < 3; ++round) {
     NodeId fresh = 200 + static_cast<NodeId>(round);
     auto& j = sys->add_node(fresh);
-    j.set_deliver([this, fresh](NodeId, const Bytes& p) { delivered[fresh].push_back(p); });
+    j.set_deliver([this, fresh](NodeId, const net::Payload& p) { delivered[fresh].push_back(p); });
     j.join(0);
     run_for(seconds(60));
     ASSERT_TRUE(j.joined()) << "round " << round;
@@ -111,7 +111,7 @@ TEST_F(IntegrationFixture, WanDeploymentBroadcast) {
   std::vector<NodeId> ids;
   for (NodeId i = 0; i < 24; ++i) {
     ids.push_back(i);
-    sys->add_node(i).set_deliver([this, i](NodeId, const Bytes& payload) {
+    sys->add_node(i).set_deliver([this, i](NodeId, const net::Payload& payload) {
       delivered[i].push_back(payload);
     });
   }
@@ -154,7 +154,7 @@ TEST_F(IntegrationFixture, StreamWhileFileSharing) {
   std::map<NodeId, std::uint64_t> played;
   for (NodeId i = 0; i < 18; ++i) {
     stream[i] = std::make_unique<astream::AStreamNode>(*sys, i, astream::StreamConfig{});
-    stream[i]->set_chunk_handler([&played, i](std::uint64_t seq, const Bytes&) {
+    stream[i]->set_chunk_handler([&played, i](std::uint64_t seq, const net::Payload&) {
       played[i] = seq;
     });
   }

@@ -22,7 +22,7 @@ struct NetFixture : ::testing::Test {
 
 TEST_F(NetFixture, DeliversToAttachedHandler) {
   auto net = make(cfg);
-  std::vector<Bytes> got;
+  std::vector<net::Payload> got;
   net->attach(2, [&](const Message& m) { got.push_back(m.payload); });
   net->send(Message{1, 2, MsgType::kAppData, Bytes{42}});
   sim.run();
@@ -250,7 +250,7 @@ TEST_F(NetFixture, JitterVariesLatency) {
 TEST_F(NetFixture, MutatingSentBufferDoesNotAffectInFlightMessage) {
   auto net = make(cfg);
   Bytes received;
-  net->attach(2, [&](const Message& m) { received = m.payload.bytes(); });
+  net->attach(2, [&](const Message& m) { received = m.payload.to_bytes(); });
   Bytes buf{1, 2, 3};
   net->send(Message{1, 2, MsgType::kAppData, buf});  // frozen at send time
   buf[0] = 99;                                       // sender scribbles afterwards
@@ -292,7 +292,10 @@ TEST(Payload, DefaultIsSharedEmptyBuffer) {
   Payload a, b;
   EXPECT_TRUE(a.empty());
   EXPECT_EQ(a.size(), 0u);
-  EXPECT_EQ(&a.bytes(), &b.bytes());  // heartbeats allocate nothing
+  // All default payloads share one static empty buffer: heartbeats
+  // allocate nothing, and the shared refcount proves it.
+  EXPECT_EQ(a.use_count(), b.use_count());
+  EXPECT_GE(a.use_count(), 3);  // a + b + the static buffer itself
 }
 
 // ---------------------------------------------------------------------------
@@ -359,6 +362,50 @@ TEST_F(NetFixture, RejectsBadProbabilityAndNegativeLatencies) {
 TEST_F(NetFixture, StockConfigsValidate) {
   EXPECT_NO_THROW(NetworkConfig::datacenter().validate());
   EXPECT_NO_THROW(NetworkConfig::wide_area().validate());
+}
+
+// ---------------------------------------------------------------------------
+// Flow-table eviction (regression: one Flow per node ever seen, forever)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, IdleFlowEntriesAreSwept) {
+  auto net = make(cfg);
+  std::uint64_t got = 0;
+  net->attach(1, [&](const Message&) { ++got; });
+  // 50k distinct transient senders each send once, then fall idle. Without
+  // eviction flows_ keeps one serialization entry per sender forever.
+  for (NodeId s = 1000; s < 51000; ++s) {
+    net->send(Message{s, 1, MsgType::kAppData, Bytes{1}});
+    if ((s & 0x3F) == 0) sim.run();  // drain: the senders' horizons pass
+  }
+  sim.run();
+  EXPECT_EQ(got, 50000u);
+  // Sweeps are amortized (one per flows_.size() sends), so the table holds
+  // at most the nodes active since the last sweep — not all 50k ever seen.
+  EXPECT_LT(net->flow_count(), 4096u);
+}
+
+TEST_F(NetFixture, ActiveFlowsSurviveTheSweep) {
+  auto net = make(cfg);
+  TimeMicros last = 0;
+  std::uint64_t got = 0;
+  net->attach(2, [&](const Message&) {
+    last = sim.now();
+    ++got;
+  });
+  // 2000 distinct one-shot senders saturate node 2's ingress in one burst;
+  // with a 256-send sweep allowance, several sweeps run mid-burst. If a
+  // sweep wrongly evicted node 2's ACTIVE flow, its ingress horizon would
+  // reset and deliveries would compress below the serialized lower bound.
+  constexpr std::size_t kSenders = 2000;
+  for (NodeId s = 100; s < 100 + kSenders; ++s) {
+    net->send(Message{s, 2, MsgType::kAppData, Bytes(4096, 1)});
+  }
+  sim.run();
+  EXPECT_EQ(got, kSenders);
+  const double per_msg =
+      (4096.0 + Message::kHeaderOverhead) / cfg.ingress_bytes_per_sec * kMicrosPerSecond;
+  EXPECT_GE(last, static_cast<TimeMicros>(per_msg * (kSenders - 1)));
 }
 
 }  // namespace

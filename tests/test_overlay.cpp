@@ -131,14 +131,14 @@ struct GmFixture : ::testing::Test {
   Rng rng{11};
   std::vector<NodeId> group_a{1, 2, 3, 4, 5};  // sending vgroup
   NodeId receiver = 100;
-  std::vector<std::pair<GroupMessageId, Bytes>> delivered;
+  std::vector<std::pair<GroupMessageId, net::Payload>> delivered;
   std::unique_ptr<GroupMessageReceiver> rx;
 
   void make_receiver(std::size_t claimed_size = 5) {
     rx = std::make_unique<GroupMessageReceiver>(
         net::Transport(net, receiver),
-        [this](const GroupMessageId& id, NodeId, const Bytes& p) {
-          delivered.emplace_back(id, p);
+        [this](const GroupMessageId& id, NodeId, net::Payload p) {
+          delivered.emplace_back(id, std::move(p));
         });
     rx->set_group_size_fn([claimed_size](GroupId g) -> std::optional<std::size_t> {
       if (g == 50) return claimed_size;
@@ -240,6 +240,119 @@ TEST_F(GmFixture, MembershipFilterDropsOutsiders) {
   send_from_all(Bytes{0x98}, group_a);
   sim.run();
   EXPECT_EQ(delivered.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy delivery & tombstone GC
+// ---------------------------------------------------------------------------
+
+TEST_F(GmFixture, DeliveryIsZeroCopyFromTheWire) {
+  make_receiver();
+  // Hand-encode one full frame and send the SAME frozen Payload from a
+  // majority of senders (exactly what PreparedGroupMessage does per
+  // sender): the delivered payload must be a slice of that buffer, not a
+  // copy of it.
+  ByteWriter w;
+  w.u64(50);
+  w.u64(9);
+  w.bytes(Bytes{0xAB, 0xCD, 0xEF});
+  net::Payload wire(w.take());
+  for (NodeId s : {1, 2, 3}) {
+    net::Transport t(net, s);
+    t.send(receiver, net::MsgType::kGroupMsgFull, wire);
+  }
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  const net::Payload& p = delivered[0].second;
+  EXPECT_EQ(p, (Bytes{0xAB, 0xCD, 0xEF}));
+  EXPECT_GE(p.data(), wire.data());                            // inside...
+  EXPECT_LE(p.data() + p.size(), wire.data() + wire.size());   // ...the frame
+  EXPECT_EQ(p.use_count(), wire.use_count());                  // same buffer
+}
+
+TEST_F(GmFixture, FanOutSharesOneWireBufferAcrossReceivers) {
+  // Two receivers, one PreparedGroupMessage per sender: every delivered
+  // payload aliases its sender's single frozen frame — the fan-out
+  // materializes one buffer per *sender*, not one per recipient.
+  std::vector<net::Payload> got;
+  auto rx2 = std::make_unique<GroupMessageReceiver>(
+      net::Transport(net, 101),
+      [&](const GroupMessageId&, NodeId, net::Payload p) { got.push_back(std::move(p)); });
+  rx2->set_group_size_fn([](GroupId) -> std::optional<std::size_t> { return 5; });
+  make_receiver();
+  for (NodeId s : group_a) {
+    net::Transport t(net, s);
+    send_group_message(t, group_a, GroupMessageId{50, 9}, {receiver, 101},
+                       net::Payload(Bytes(2048, 0x5A)), rng);
+  }
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_EQ(got.size(), 1u);
+  // Both receivers hold slices; each aliases one of the three full-sender
+  // frames, so at most 3 distinct buffers back any number of receivers.
+  EXPECT_EQ(delivered[0].second, got[0]);
+}
+
+TEST_F(GmFixture, DeliveredTombstonesAreGarbageCollectedAfterTtl) {
+  make_receiver();
+  rx->set_tombstone_ttl(seconds(5.0));
+  send_from_all(Bytes{0x11}, group_a);
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(rx->pending_count(), 1u);  // tombstone retained for dedup
+  // Duplicates within the TTL are suppressed...
+  send_from_all(Bytes{0x11}, group_a);
+  sim.run();
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(rx->pending_count(), 1u);
+  // ...and past the TTL the tombstone is swept on the next arrival.
+  sim.run_until(sim.now() + seconds(6.0));
+  net::Transport t(net, 1);
+  send_group_message(t, group_a, GroupMessageId{50, 77}, {receiver}, net::Payload(Bytes{0x22}),
+                     rng);
+  sim.run();
+  EXPECT_EQ(rx->pending_count(), 1u);  // only the new (undelivered) id remains
+}
+
+TEST_F(GmFixture, UndeliveredFloodFromByzantineSenderIsBounded) {
+  make_receiver();
+  rx->set_tombstone_ttl(seconds(2.0));
+  // One Byzantine member of a known group mints a fresh id per tick and
+  // sends digest-only frames that can never deliver (no full copy, no
+  // majority). Undelivered buffering must expire like tombstones do —
+  // otherwise this grows pending_ by one entry per id forever.
+  net::Transport t(net, 1);
+  for (std::uint64_t seq = 0; seq < 300; ++seq) {
+    ByteWriter w;
+    w.u64(50);
+    w.u64(seq);
+    crypto::Digest d = crypto::sha256(Bytes{static_cast<std::uint8_t>(seq)});
+    w.raw(d.data(), d.size());
+    t.send(receiver, net::MsgType::kGroupMsgDigest, w.take());
+    sim.run_until(sim.now() + millis(100));
+  }
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  // 2 s TTL at one fresh id per 100 ms: ~20 live entries, never 300.
+  EXPECT_LT(rx->pending_count(), 40u);
+}
+
+TEST_F(GmFixture, PendingStaysBoundedUnderSustainedBroadcast) {
+  make_receiver();
+  rx->set_tombstone_ttl(seconds(2.0));
+  constexpr std::uint64_t kRounds = 200;
+  for (std::uint64_t seq = 0; seq < kRounds; ++seq) {
+    for (NodeId s : group_a) {
+      net::Transport t(net, s);
+      send_group_message(t, group_a, GroupMessageId{50, seq}, {receiver},
+                        net::Payload(Bytes{0x33}), rng);
+    }
+    sim.run_until(sim.now() + millis(100));
+  }
+  sim.run();
+  EXPECT_EQ(delivered.size(), kRounds);
+  // 2 s TTL at one delivery per 100 ms: ~20 live tombstones, never 200.
+  EXPECT_LT(rx->pending_count(), 40u);
 }
 
 // ---------------------------------------------------------------------------

@@ -33,8 +33,8 @@ struct AsyncGroup {
         if (idx == n) mode = m;
       }
       auto r = std::make_unique<PbftSmr>(net::Transport(net, n), cfg, keys, opt, mode);
-      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const Bytes& op) {
-        decided[n].emplace_back(origin, op);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
+        decided[n].emplace_back(origin, op.to_bytes());
       });
       replicas.push_back(std::move(r));
     }
@@ -59,7 +59,7 @@ TEST(Pbft, SubSecondLatencyWithoutFaults) {
   // Async needs no lock-step rounds: decisions land in a few network RTTs.
   AsyncGroup g(4);
   TimeMicros decided_at = -1;
-  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const Bytes&) {
+  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload&) {
     if (decided_at < 0) decided_at = g.sim.now();
   });
   g.at(0).propose(op_bytes("fast"));
@@ -267,7 +267,7 @@ TEST(Pbft, WanLatenciesStillDecide) {
   for (NodeId n = 0; n < 7; ++n) {
     auto r = std::make_unique<PbftSmr>(net::Transport(net, n), cfg, keys, opt);
     r->set_decide_handler(
-        [&decided, n](std::uint64_t, NodeId, const Bytes& op) { decided[n].push_back(op); });
+        [&decided, n](std::uint64_t, NodeId, const net::Payload& op) { decided[n].push_back(op.to_bytes()); });
     replicas.push_back(std::move(r));
   }
   replicas[3]->propose(op_bytes("around-the-world"));

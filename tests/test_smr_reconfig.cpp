@@ -33,8 +33,8 @@ struct ReconfigHarness {
 
   void add_node(NodeId n, const GroupConfig& cfg) {
     auto r = std::make_unique<ReconfigurableSmr>(net, n, cfg, keys, opt);
-    r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const Bytes& op) {
-      decided[n].emplace_back(origin, op);
+    r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
+      decided[n].emplace_back(origin, op.to_bytes());
     });
     r->set_config_handler(
         [this, n](std::uint64_t epoch, const GroupConfig&) { epochs_seen[n].push_back(epoch); });

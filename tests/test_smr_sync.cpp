@@ -38,8 +38,8 @@ struct SyncGroup {
         if (idx == n) mode = m;
       }
       auto r = std::make_unique<DolevStrongSmr>(net::Transport(net, n), cfg, keys, opt, mode);
-      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const Bytes& op) {
-        decided[n].emplace_back(origin, op);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
+        decided[n].emplace_back(origin, op.to_bytes());
       });
       replicas.push_back(std::move(r));
     }
@@ -148,7 +148,7 @@ TEST(DolevStrong, LatencyWithinSlotBound) {
   SyncGroup g(7);  // f=3, rounds_per_slot = 5
   TimeMicros start = g.sim.now();
   TimeMicros decided_at = -1;
-  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const Bytes&) {
+  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload&) {
     if (decided_at < 0) decided_at = g.sim.now();
   });
   g.at(0).propose(op_bytes("timed"));
