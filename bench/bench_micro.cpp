@@ -106,6 +106,63 @@ static void BM_BroadcastFanoutShared(benchmark::State& state) {
 }
 BENCHMARK(BM_BroadcastFanoutShared)->Arg(8)->Arg(64)->Arg(512);
 
+// Per-frame digest cache (net::Payload::digest). The cached variant is the
+// group-message vouch path after PR 3: one SHA-256 per frame, then memo
+// hits. The uncached variant is the old per-call cost for comparison.
+static void BM_PayloadDigestUncached(benchmark::State& state) {
+  net::Payload p(Bytes(static_cast<std::size_t>(state.range(0)), 0x5f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(p.data(), p.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PayloadDigestUncached)->Arg(128)->Arg(4096);
+
+static void BM_PayloadDigestCached(benchmark::State& state) {
+  net::Payload p(Bytes(static_cast<std::size_t>(state.range(0)), 0x5f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.digest());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PayloadDigestCached)->Arg(128)->Arg(4096);
+
+// Vouch fan-out: one 4 KiB frame delivered to N receivers, every receiver
+// needs its digest (what GroupMessageReceiver does to vouch). Cached: the
+// first receiver hashes, the rest hit the frame memo.
+namespace {
+template <typename DigestFn>
+void run_vouch_bench(benchmark::State& state, DigestFn&& digest_of) {
+  const auto recipients = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  net::SimNetwork net(sim, net::NetworkConfig::datacenter());
+  std::uint64_t sink = 0;
+  for (NodeId n = 1; n <= recipients; ++n) {
+    net.attach(n, [&](const net::Message& m) { sink += digest_of(m.payload)[0]; });
+  }
+  for (auto _ : state) {
+    net::Payload frame(Bytes(kFanoutPayloadBytes, 0xCD));  // fresh frame per round
+    for (NodeId n = 1; n <= recipients; ++n) {
+      net.send(net::Message{0, n, net::MsgType::kAppData, frame});
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(recipients * kFanoutPayloadBytes));
+}
+}  // namespace
+
+static void BM_VouchFanoutUncached(benchmark::State& state) {
+  run_vouch_bench(state, [](const net::Payload& p) { return crypto::sha256(p.data(), p.size()); });
+}
+BENCHMARK(BM_VouchFanoutUncached)->Arg(8)->Arg(64);
+
+static void BM_VouchFanoutCached(benchmark::State& state) {
+  run_vouch_bench(state, [](const net::Payload& p) { return p.digest(); });
+}
+BENCHMARK(BM_VouchFanoutCached)->Arg(8)->Arg(64);
+
 static void BM_HGraphInsert(benchmark::State& state) {
   for (auto _ : state) {
     Rng rng(1);

@@ -109,6 +109,15 @@ void AShareNode::get(const FileKey& key, GetFn done) {
   start_get(key, std::move(done), false);
 }
 
+void AShareNode::for_each_inflight_piece(
+    const std::function<void(const net::Payload&)>& fn) const {
+  for (const auto& [tid, t] : transfers_) {
+    for (const auto& p : t.pieces) {
+      if (p.has_value()) fn(*p);
+    }
+  }
+}
+
 void AShareNode::force_replicate(const FileKey& key, GetFn done) {
   start_get(key, std::move(done), true);
 }
@@ -279,11 +288,13 @@ void AShareNode::on_transfer_message(const net::Message& msg) {
     if (chunk >= t.pieces.size() || t.pieces[chunk].has_value()) return;
 
     bool valid = false;
-    Bytes data;
+    net::Payload data;
     if (status == kChunkOk) {
-      data = r.bytes();
-      // §4.2.2 integrity check: the chunk must hash to the owner's digest.
-      valid = crypto::sha256(data) == t.meta.chunk_digests[chunk];
+      // Zero-copy: the chunk stays a slice of the arriving reply frame.
+      data = msg.payload.slice(r.bytes_view());
+      // §4.2.2 integrity check against the owner's digest; memoized on the
+      // frame, so nothing downstream ever re-hashes this chunk.
+      valid = data.digest() == t.meta.chunk_digests[chunk];
     }
     if (!valid) {
       if (status == kChunkOk) ++t.stats.corrupt_chunks;
@@ -305,20 +316,25 @@ void AShareNode::finish_transfer(std::uint64_t tid) {
   Transfer t = std::move(it->second);
   transfers_.erase(it);
 
+  // Reassembly is the only copy a GET makes: each piece is still a slice
+  // of its arrival frame until this loop materializes the file.
   Bytes content;
   content.reserve(t.meta.size);
-  std::vector<Bytes> pieces;
-  for (auto& p : t.pieces) {
+  for (const auto& p : t.pieces) {
     content.insert(content.end(), p->begin(), p->end());
-    pieces.push_back(std::move(*p));
   }
   t.stats.ok = true;
   t.stats.elapsed = sys_.simulator().now() - t.started;
 
   if (t.announce_replica) {
     // We are now a holder: store the replica and run the Figure 5 loop by
-    // announcing it system-wide.
-    chunks_[t.meta.key] = std::move(pieces);
+    // announcing it system-wide. The store copies each piece out — replicas
+    // live for as long as the file, and a long-lived store keeping frame
+    // slices would pin every reply frame forever (net/message.h LIFETIME).
+    std::vector<Bytes> stored;
+    stored.reserve(t.pieces.size());
+    for (const auto& p : t.pieces) stored.push_back(p->to_bytes());
+    chunks_[t.meta.key] = std::move(stored);
     index_.add_holder(t.meta.key, id_);
     ByteWriter w;
     w.u8(kMsgReplica);

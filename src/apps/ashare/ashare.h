@@ -10,6 +10,17 @@
 //    owner's SHA-256 digest; corrupt chunks are re-pulled from another
 //    holder (§4.2.2),
 //  * parallel chunked pull from all replica holders.
+//
+// Slice-ownership invariants (see net/message.h for the full contract):
+//  * An in-flight Transfer buffers each arrived chunk as a net::Payload
+//    slice of the kChunkReply frame it came in — the receive path copies
+//    nothing, and the integrity check uses Payload::digest(), memoized on
+//    that frame. A transfer therefore pins one reply frame per chunk
+//    (~20 bytes of framing each) for its own — bounded — lifetime.
+//  * GET reassembly into the contiguous result is the only copy a user GET
+//    makes. Replication GETs additionally copy each piece out (to_bytes)
+//    into chunks_, because the replica store lives for as long as the file
+//    and long-lived stores must not pin transport frames.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +75,11 @@ class AShareNode {
   const MetadataIndex& index() const { return index_; }
   bool has_replica(const FileKey& key) const { return chunks_.contains(key); }
 
+  // Introspection for tests: visits every chunk already buffered by an
+  // in-flight transfer. Used to pin the zero-copy invariant (each piece
+  // aliases its kChunkReply arrival frame rather than owning a copy).
+  void for_each_inflight_piece(const std::function<void(const net::Payload&)>& fn) const;
+
   // Pins a replica onto this node without the randomized path (benchmarks
   // deterministically constructing Fig 10/11 replica counts).
   void force_replicate(const FileKey& key, GetFn done = nullptr);
@@ -75,7 +91,8 @@ class AShareNode {
  private:
   struct Transfer {
     FileMeta meta;
-    std::vector<std::optional<Bytes>> pieces;
+    // Verified chunks, each a zero-copy slice of its arrival frame.
+    std::vector<std::optional<net::Payload>> pieces;
     std::vector<NodeId> holders;          // pull order
     std::size_t next_holder = 0;
     std::map<std::size_t, std::size_t> attempts;  // chunk -> tries
@@ -110,7 +127,9 @@ class AShareNode {
   std::unique_ptr<sim::PeriodicTimer> replication_timer_;
 
   MetadataIndex index_;
-  std::map<FileKey, std::vector<Bytes>> chunks_;  // full local replicas
+  // Full local replicas. Deliberately Bytes, not Payload: replicas outlive
+  // any frame they arrived in, so they are copied out at store time.
+  std::map<FileKey, std::vector<Bytes>> chunks_;
   std::map<std::uint64_t, Transfer> transfers_;
   std::uint64_t next_transfer_ = 1;
 };

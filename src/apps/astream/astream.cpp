@@ -111,9 +111,10 @@ void AStreamNode::join_stream(NodeId source) {
 
 void AStreamNode::stream_chunk(Bytes data) {
   std::uint64_t seq = ++source_seq_;
-  crypto::Digest d = crypto::sha256(data);
+  net::Payload chunk(std::move(data));  // frozen once, shared from here on
+  crypto::Digest d = chunk.digest();    // memoized on the chunk's buffer
   digests_[seq] = d;
-  verified_[seq] = net::Payload(std::move(data));  // frozen once, shared from here on
+  verified_[seq] = std::move(chunk);
   delivered_up_to_ = seq;
   if (on_chunk_) on_chunk_(seq, verified_[seq]);  // the source delivers locally too
 
@@ -255,7 +256,10 @@ void AStreamNode::try_verify_buffered() {
       continue;  // digest not yet delivered by tier 1
     }
     auto& [data, from] = it->second;
-    if (crypto::sha256(data.data(), data.size()) != dit->second) {
+    // digest() is memoized on the arrival frame: when a parent pushed one
+    // frozen frame to several children, the first child to verify pays the
+    // hash and the rest reuse it.
+    if (data.digest() != dit->second) {
       // Corrupt chunk: the §4.3 fail-over — demote this parent and re-pull.
       auto pit = std::find(parents_.begin(), parents_.end(), from);
       if (pit != parents_.end() && parents_.size() > 1) {
@@ -274,8 +278,14 @@ void AStreamNode::try_verify_buffered() {
     }
     // Verified: store, deliver in order, serve pending pulls, push chunk 1
     // (the push phase applies only to the first chunk of the stream).
+    // Small chunks are copied out of their arrival frame at store time
+    // (copy_out_threshold) so the long-lived store does not pin it.
     std::uint64_t seq = it->first;
-    verified_[seq] = std::move(data);
+    if (data.size() <= config_.copy_out_threshold && data.frame_size() > data.size()) {
+      verified_[seq] = net::Payload(data.to_bytes());
+    } else {
+      verified_[seq] = std::move(data);
+    }
     it = unverified_.erase(it);
     fan_out_chunk(seq, /*include_children=*/seq == 1);
     progressed = true;

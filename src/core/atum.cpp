@@ -386,8 +386,10 @@ void AtumNode::evaluate_suspicions() {
 std::optional<overlay::PreparedGroupMessage> AtumNode::prepare_group_payload(
     const net::Payload& payload) const {
   if (!is_sender_behavior()) return std::nullopt;  // Byzantine members do not contribute
-  overlay::GroupMessageId id{
-      vg_.id(), crypto::digest_prefix64(crypto::sha256(payload.data(), payload.size()))};
+  // digest() is memoized per frame: for a relayed gossip frame this reuses
+  // the digest the vouch path already computed on arrival, and the
+  // digest-rank senders inside PreparedGroupMessage reuse it again.
+  overlay::GroupMessageId id{vg_.id(), crypto::digest_prefix64(payload.digest())};
   return overlay::PreparedGroupMessage(vg_.members(), id_, id, payload);
 }
 

@@ -1,6 +1,13 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Used for message digests
 // (§5.1 digest optimization), AShare chunk integrity checks (§4.2.2), and
 // as the compression core of HMAC signatures.
+//
+// Hashing is the dominant per-message CPU cost on the group-message vouch
+// path, so callers holding a net::Payload should prefer Payload::digest()
+// over the free sha256() functions: it memoizes the digest on the frame's
+// shared control block, making the at-most-one-hash-per-frame invariant
+// hold across every receiver, relay, and voucher that shares the buffer.
+// sha256_digest_count() below exists to let tests pin that invariant.
 #pragma once
 
 #include <array>
@@ -38,6 +45,13 @@ class Sha256 {
 Digest sha256(const Bytes& data);
 Digest sha256(const std::uint8_t* data, std::size_t len);
 Digest sha256(std::string_view data);
+
+// Instrumentation: how many SHA-256 digests this process has computed
+// (every Sha256::finish() counts one; HMAC therefore counts two per tag).
+// Tests snapshot it around an operation to prove a cache hit — e.g. that
+// vouching for the same frame at N receivers hashed exactly once. Not a
+// performance counter to branch on in protocol code.
+std::uint64_t sha256_digest_count();
 
 std::string to_hex(const Digest& d);
 

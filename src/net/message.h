@@ -11,6 +11,7 @@
 
 #include "common/serde.h"
 #include "common/types.h"
+#include "crypto/sha256.h"
 
 namespace atum::net {
 
@@ -45,7 +46,8 @@ enum class MsgType : std::uint16_t {
 
 // Immutable, reference-counted view of a message body.
 //
-// Ownership model (end-to-end, see README "Payload API"):
+// Ownership model (end-to-end, see ARCHITECTURE.md and README "Payload
+// API"):
 //  * The PRODUCER freezes bytes exactly once — constructing a Payload from
 //    Bytes is the last copy/move that buffer will ever see. A vgroup
 //    fan-out (g = 7..20 recipients per destination group, times several
@@ -56,28 +58,42 @@ enum class MsgType : std::uint16_t {
 //    received frame as a new Payload that shares the parent's buffer and
 //    keeps it alive. A frame is therefore materialized once per node and
 //    every layer above the transport works on views of it.
-//  * LIFETIME: a slice pins the whole parent buffer. That is the right
-//    trade for protocol frames (delivered promptly, then dropped); code
-//    that archives a tiny slice of a huge frame long-term should copy via
-//    to_bytes() instead.
-// The buffer is truly immutable — senders mutating their original Bytes
-// after send() cannot affect in-flight messages, and receivers cannot
-// corrupt the copy other receivers see.
+//  * LIFETIME: a slice pins the whole parent frame (frame_size() exposes
+//    how much). That is the right trade for protocol frames (delivered
+//    promptly, then dropped); code that archives a tiny slice of a huge
+//    frame long-term should copy via to_bytes() instead — see AStream's
+//    copy_out_threshold for the knob pattern.
+//
+// Digest cache: digest() returns the SHA-256 of the viewed range and
+// memoizes it on the shared buffer control block, so every holder of the
+// same frame — the vouching receiver, the gossip relay re-deriving the
+// GroupMessageId, the digest-rank sender — reuses one computation. The
+// memo is sound because the buffer is truly immutable: senders mutating
+// their original Bytes after send() cannot affect in-flight messages, and
+// receivers cannot corrupt the copy other receivers see. INVARIANT: digest
+// validity is tied to that immutability — any future mutable-buffer
+// variant of Payload must drop or re-key the memo.
 class Payload {
  public:
   Payload() : data_(empty_buffer()) {}
   // Implicit: freezes the bytes (one copy/move — the last one this buffer
   // will ever see).
-  Payload(Bytes bytes)
-      : data_(std::make_shared<const Bytes>(std::move(bytes))), size_(data_->size()) {}
-  explicit Payload(std::shared_ptr<const Bytes> bytes)
-      : data_(bytes ? std::move(bytes) : empty_buffer()), size_(data_->size()) {}
+  Payload(Bytes bytes) : data_(std::make_shared<Frame>(std::move(bytes))) {
+    size_ = data_->bytes.size();
+  }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  const std::uint8_t* data() const { return data_->data() + offset_; }
+  const std::uint8_t* data() const { return data_->bytes.data() + offset_; }
   const std::uint8_t* begin() const { return data(); }
   const std::uint8_t* end() const { return data() + size_; }
+
+  // Size of the whole backing frame this view pins (>= size(); equal iff
+  // the view is the whole buffer). Lifetime introspection: long-lived
+  // stores compare frame_size() against size() to decide whether keeping a
+  // slice is cheap or whether to copy out, and tests use it to prove a
+  // payload is a zero-copy slice of a larger frame.
+  std::size_t frame_size() const { return data_->bytes.size(); }
 
   // A Payload restricted to `view`, sharing (and keeping alive) this
   // payload's buffer. `view` must lie inside this payload — the intended
@@ -95,7 +111,26 @@ class Payload {
     return out;
   }
 
-  // Deep copy, for the rare consumer that needs independent ownership.
+  // SHA-256 of the viewed bytes, computed at most once per (frame, range)
+  // and memoized on the shared control block: every Payload sharing this
+  // buffer — across sends, slices, relays, even across nodes in the
+  // simulator — reuses the cached value. The memo holds one entry, which
+  // covers the protocols here: each frame has exactly one range whose
+  // digest anyone wants (the group-message body, the chunk body); a second
+  // distinct range simply recomputes and takes the slot over.
+  crypto::Digest digest() const {
+    Frame& f = *data_;
+    if (!f.digest_valid || f.digest_offset != offset_ || f.digest_size != size_) {
+      f.digest = crypto::sha256(data(), size_);
+      f.digest_offset = offset_;
+      f.digest_size = size_;
+      f.digest_valid = true;
+    }
+    return f.digest;
+  }
+
+  // Deep copy, for the rare consumer that needs independent ownership
+  // (e.g. a long-lived store that must not pin the parent frame).
   Bytes to_bytes() const { return Bytes(begin(), end()); }
 
   // How many Payload instances share this buffer (tests/benches: proves a
@@ -111,12 +146,25 @@ class Payload {
   }
 
  private:
-  static const std::shared_ptr<const Bytes>& empty_buffer() {
-    static const std::shared_ptr<const Bytes> kEmpty = std::make_shared<const Bytes>();
+  // Control block: the frozen bytes plus the per-frame digest memo. The
+  // memo fields are mutable-through-shared_ptr by design (single-threaded
+  // simulator; a real deployment would guard them with a once-flag) and
+  // cache the digest of exactly one (offset, size) range.
+  struct Frame {
+    explicit Frame(Bytes b) : bytes(std::move(b)) {}
+    const Bytes bytes;
+    bool digest_valid = false;
+    std::size_t digest_offset = 0;
+    std::size_t digest_size = 0;
+    crypto::Digest digest{};
+  };
+
+  static const std::shared_ptr<Frame>& empty_buffer() {
+    static const std::shared_ptr<Frame> kEmpty = std::make_shared<Frame>(Bytes{});
     return kEmpty;
   }
 
-  std::shared_ptr<const Bytes> data_;
+  std::shared_ptr<Frame> data_;
   std::size_t offset_ = 0;
   std::size_t size_ = 0;
 };

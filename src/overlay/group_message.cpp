@@ -33,9 +33,11 @@ PreparedGroupMessage::PreparedGroupMessage(const std::vector<NodeId>& senders, N
   bool send_full = rank < full_count;
 
   // Freeze the encoded frame once; every recipient shares the same buffer.
-  wire_ = net::Payload(send_full
-                           ? encode_full(id, payload)
-                           : encode_digest(id, crypto::sha256(payload.data(), payload.size())));
+  // payload.digest() memoizes on the payload's control block: a gossip
+  // relay hashing the frame it just received (and whose receiver already
+  // hashed it to vouch) reuses that digest instead of recomputing.
+  wire_ = net::Payload(send_full ? encode_full(id, payload)
+                                 : encode_digest(id, payload.digest()));
   type_ = send_full ? net::MsgType::kGroupMsgFull : net::MsgType::kGroupMsgDigest;
 }
 
@@ -87,8 +89,11 @@ void GroupMessageReceiver::on_message(const net::Message& msg) {
     id.seq = r.u64();
     if (is_full) {
       // Zero-copy: the body is a refcounted slice of the arriving frame.
+      // The vouch digest is memoized on that frame's control block, so a
+      // frame fanned out to many receivers is hashed once system-wide and
+      // a node relaying it onward reuses the digest too.
       payload = msg.payload.slice(r.bytes_view());
-      digest = crypto::sha256(payload.data(), payload.size());
+      digest = payload.digest();
     } else {
       r.raw(digest.data(), digest.size());
     }

@@ -64,7 +64,7 @@ crypto::Digest PbftSmr::request_digest(const Request& req) const {
   w.str("pbft-req");
   w.u64(req.id.origin);
   w.u64(req.id.seq);
-  w.bytes(req.op);
+  w.bytes(req.op.data(), req.op.size());
   return crypto::sha256(w.data());
 }
 
@@ -85,12 +85,13 @@ void PbftSmr::broadcast(net::MsgType type, const Bytes& payload, bool include_se
 
 void PbftSmr::propose(Bytes op) {
   if (fault_ == PbftFaultMode::kSilent) return;
-  Request req{RequestId{transport_.self(), ++origin_seq_}, std::move(op)};
+  // Freeze the op once; pending_, the log, and the decide path all share it.
+  Request req{RequestId{transport_.self(), ++origin_seq_}, net::Payload(std::move(op))};
 
   ByteWriter w;
   w.u64(req.id.origin);
   w.u64(req.id.seq);
-  w.bytes(req.op);
+  w.bytes(req.op.data(), req.op.size());
   broadcast(net::MsgType::kPbftRequest, w.data());
 
   pending_[req.id] = req.op;
@@ -105,7 +106,7 @@ void PbftSmr::handle_request(const net::Message& msg) {
   Request req;
   req.id.origin = r.u64();
   req.id.seq = r.u64();
-  req.op = r.bytes();
+  req.op = msg.payload.slice(r.bytes_view());     // zero-copy: view of the frame
   if (req.id.origin != msg.from) return;          // clients are the members themselves
   if (!config_.contains(req.id.origin)) return;
   if (assigned_or_executed_.contains(req.id)) return;
@@ -149,15 +150,16 @@ void PbftSmr::primary_assign(const Request& req) {
     write_digest(w, request_digest(request));
     w.u64(request.id.origin);
     w.u64(request.id.seq);
-    w.bytes(request.op);
+    w.bytes(request.op.data(), request.op.size());
     return w.take();
   };
 
   if (fault_ == PbftFaultMode::kEquivocatePrimary) {
     // Conflicting assignments to the two halves of the group. Correct
     // replicas can never gather 2f matching prepares for either copy.
-    Request alt{RequestId{req.id.origin, req.id.seq}, req.op};
-    alt.op.push_back(0xFF);
+    Bytes alt_op = req.op.to_bytes();
+    alt_op.push_back(0xFF);
+    Request alt{RequestId{req.id.origin, req.id.seq}, net::Payload(std::move(alt_op))};
     Bytes wire_a = encode(req), wire_b = encode(alt);
     std::size_t half = config_.size() / 2;
     for (std::size_t i = 0; i < config_.size(); ++i) {
@@ -185,7 +187,10 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   Request req;
   req.id.origin = r.u64();
   req.id.seq = r.u64();
-  req.op = r.bytes();
+  // Zero-copy: the op stays a slice of the pre-prepare frame. Every
+  // replica shares the primary's one frozen buffer, so the whole group
+  // logs, executes, and decides this op without materializing a copy.
+  req.op = msg.payload.slice(r.bytes_view());
 
   if (view > view_ || (view == view_ && view_changing_)) {
     // Also buffer current-view traffic while mid-view-change: the change
@@ -311,10 +316,10 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
     exec_history_.push_back(ExecRecord{req.id.origin, req.id.seq, req.op});
   }
   if (!is_null && !duplicate && decide_) {
-    // Freeze a copy at the engine boundary: the log retains req.op for view
-    // changes / state transfer, so the decided op cannot be moved out.
-    // Everything above this point shares the frozen buffer copy-free.
-    decide_(seq - 1, req.id.origin, net::Payload(req.op));
+    // Zero-copy async decide: req.op is already a refcounted slice of the
+    // pre-prepare frame, shared with the log and exec_history_. The
+    // callback (and everything above it) works on the same buffer.
+    decide_(seq - 1, req.id.origin, req.op);
   }
   if (!is_null) assigned_or_executed_.insert(req.id);
   pending_.erase(req.id);
@@ -341,7 +346,7 @@ void PbftSmr::send_checkpoint(std::uint64_t seq) {
   for (std::size_t i = 0; i < static_cast<std::size_t>(seq) && i < exec_history_.size(); ++i) {
     hw.u64(exec_history_[i].origin);
     hw.u64(exec_history_[i].origin_seq);
-    hw.bytes(exec_history_[i].op);
+    hw.bytes(exec_history_[i].op.data(), exec_history_[i].op.size());
   }
   crypto::Digest d = crypto::sha256(hw.data());
 
@@ -413,7 +418,7 @@ void PbftSmr::handle_state_fetch(const net::Message& msg) {
   for (std::size_t i = static_cast<std::size_t>(from_seq); i < exec_history_.size(); ++i) {
     w.u64(exec_history_[i].origin);
     w.u64(exec_history_[i].origin_seq);
-    w.bytes(exec_history_[i].op);
+    w.bytes(exec_history_[i].op.data(), exec_history_[i].op.size());
   }
   transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
 }
@@ -429,7 +434,7 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
     ExecRecord rec;
     rec.origin = r.u64();
     rec.origin_seq = r.u64();
-    rec.op = r.bytes();
+    rec.op = msg.payload.slice(r.bytes_view());  // zero-copy out of the reply frame
     entries.push_back(std::move(rec));
   }
 
@@ -445,7 +450,7 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
     for (std::size_t i = 0; i < static_cast<std::size_t>(seq); ++i) {
       hw.u64(candidate[i].origin);
       hw.u64(candidate[i].origin_seq);
-      hw.bytes(candidate[i].op);
+      hw.bytes(candidate[i].op.data(), candidate[i].op.size());
     }
     crypto::Digest d = crypto::sha256(hw.data());
     std::size_t matching = 0;
@@ -463,7 +468,7 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
       executed_requests_.insert(RequestId{rec.origin, rec.origin_seq});
       assigned_or_executed_.insert(RequestId{rec.origin, rec.origin_seq});
       pending_.erase(RequestId{rec.origin, rec.origin_seq});
-      if (decide_) decide_(seq - 1, rec.origin, net::Payload(rec.op));
+      if (decide_) decide_(seq - 1, rec.origin, rec.op);  // shares the reply frame
     }
     next_exec_ = seq;
   }
@@ -523,7 +528,7 @@ void PbftSmr::start_view_change(std::uint64_t explicit_target) {
     write_digest(w, p.digest);
     w.u64(p.request.id.origin);
     w.u64(p.request.id.seq);
-    w.bytes(p.request.op);
+    w.bytes(p.request.op.data(), p.request.op.size());
   }
   crypto::Signature sig = keys_.key_of(transport_.self()).sign(w.data());
   w.raw(sig.data(), sig.size());
@@ -543,12 +548,15 @@ void PbftSmr::start_view_change(std::uint64_t explicit_target) {
 
 void PbftSmr::handle_view_change(const net::Message& msg) {
   if (msg.payload.size() < 32) return;
-  Bytes body(msg.payload.begin(), msg.payload.end() - 32);
   crypto::Signature sig;
   std::copy(msg.payload.end() - 32, msg.payload.end(), sig.begin());
-  if (options_.verify_signatures && !keys_.verify(msg.from, body, sig)) return;
+  if (options_.verify_signatures &&
+      !keys_.verify(msg.from, msg.payload.data(), msg.payload.size() - 32, sig)) {
+    return;
+  }
 
-  ByteReader r(body);
+  // Read the signed body in place; carried ops stay slices of this frame.
+  ByteReader r(msg.payload.data(), msg.payload.size() - 32);
   ViewChangeMsg vc;
   vc.new_view = r.u64();
   vc.stable_seq = r.u64();
@@ -560,7 +568,7 @@ void PbftSmr::handle_view_change(const net::Message& msg) {
     p.digest = read_digest(r);
     p.request.id.origin = r.u64();
     p.request.id.seq = r.u64();
-    p.request.op = r.bytes();
+    p.request.op = msg.payload.slice(r.bytes_view());
     vc.prepared.push_back(std::move(p));
   }
   vc.sender = msg.from;
@@ -621,7 +629,7 @@ void PbftSmr::maybe_assemble_new_view() {
       ow.u8(1);
       ow.u64(cit->second.request.id.origin);
       ow.u64(cit->second.request.id.seq);
-      ow.bytes(cit->second.request.op);
+      ow.bytes(cit->second.request.op.data(), cit->second.request.op.size());
     } else {
       ow.u8(0);  // null request fills the gap
     }
@@ -649,12 +657,14 @@ void PbftSmr::maybe_assemble_new_view() {
 
 void PbftSmr::handle_new_view(const net::Message& msg) {
   if (msg.payload.size() < 32) return;
-  Bytes body(msg.payload.begin(), msg.payload.end() - 32);
   crypto::Signature sig;
   std::copy(msg.payload.end() - 32, msg.payload.end(), sig.begin());
-  if (options_.verify_signatures && !keys_.verify(msg.from, body, sig)) return;
+  if (options_.verify_signatures &&
+      !keys_.verify(msg.from, msg.payload.data(), msg.payload.size() - 32, sig)) {
+    return;
+  }
 
-  ByteReader r(body);
+  ByteReader r(msg.payload.data(), msg.payload.size() - 32);
   std::uint64_t new_view = r.u64();
   std::uint64_t stable = r.u64();
   if (new_view <= view_) return;
@@ -664,7 +674,11 @@ void PbftSmr::handle_new_view(const net::Message& msg) {
   std::vector<PreparedProof> carried;
   std::uint64_t seq_expected = stable + 1;
   for (std::uint64_t i = 0; i < n; ++i, ++seq_expected) {
-    ByteReader er(r.bytes());
+    // Read each O entry as a view into the frame (the old `ByteReader
+    // er(r.bytes())` parsed a temporary that died at the end of the
+    // statement); carried ops become slices of the NEW-VIEW frame.
+    std::span<const std::uint8_t> entry = r.bytes_view();
+    ByteReader er(entry.data(), entry.size());
     std::uint64_t seq = er.u64();
     if (seq != seq_expected) return;  // malformed O
     std::uint8_t has_req = er.u8();
@@ -674,7 +688,7 @@ void PbftSmr::handle_new_view(const net::Message& msg) {
     if (has_req) {
       p.request.id.origin = er.u64();
       p.request.id.seq = er.u64();
-      p.request.op = er.bytes();
+      p.request.op = msg.payload.slice(er.bytes_view());
       p.digest = request_digest(p.request);
     } else {
       p.request = Request{RequestId{kNullOrigin, seq}, {}};
@@ -770,7 +784,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
       ByteWriter w;
       w.u64(id.origin);
       w.u64(id.seq);
-      w.bytes(op);
+      w.bytes(op.data(), op.size());
       transport_.send(primary_of(view_), net::MsgType::kPbftRequest, w.take());
     }
   }

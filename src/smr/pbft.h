@@ -20,6 +20,21 @@
 //                certificates so decided requests survive the view change
 //   STATE FETCH  lagging replicas fetch the executed-op log from a peer and
 //                validate it against an f+1-vouched checkpoint digest
+//
+// Zero-copy op path: Request::op is a net::Payload — a refcounted slice of
+// the frame the op arrived in (client request, pre-prepare, state reply),
+// or of the locally frozen propose() buffer. The log, pending_ and
+// exec_history_ all share those buffers, and the decide callback hands the
+// SAME slice up the stack, so the async decide path copies nothing
+// (matching Dolev-Strong's batch-slice decide). Lifetime consequence
+// (net/message.h slice-ownership contract): a retained op pins its WHOLE
+// arrival frame. On the hot path that is ~56 bytes of framing per op
+// (request and pre-prepare frames carry exactly one request); ops restored
+// from the cold paths pin more — a state-reply slice pins the whole
+// multi-op history frame and a view-change-carried slice the whole
+// certificate frame — acceptable because both are rare and the frames are
+// dropped again once the ops re-execute or the next checkpoint truncates
+// the log (exec_history_ retention is the exception; see ROADMAP).
 #pragma once
 
 #include <cstdint>
@@ -83,7 +98,7 @@ class PbftSmr final : public SmrEngine {
   };
   struct Request {
     RequestId id;
-    Bytes op;
+    net::Payload op;  // slice of the arrival frame; never deep-copied
   };
   struct LogEntry {
     std::uint64_t view = 0;
@@ -156,7 +171,7 @@ class PbftSmr final : public SmrEngine {
   std::uint64_t view_changes_completed_ = 0;
 
   std::map<std::uint64_t, LogEntry> log_;
-  std::map<RequestId, Bytes> pending_;           // not yet pre-prepared
+  std::map<RequestId, net::Payload> pending_;    // not yet pre-prepared
   std::set<RequestId> assigned_or_executed_;     // dedup
   // Pre-prepares whose client request has not arrived yet; replayed when it
   // does (the request broadcast can be overtaken by the primary's message).
@@ -173,7 +188,7 @@ class PbftSmr final : public SmrEngine {
   struct ExecRecord {
     NodeId origin;
     std::uint64_t origin_seq;
-    Bytes op;
+    net::Payload op;  // shares the decided frame (state-transfer source)
   };
   std::vector<ExecRecord> exec_history_;  // one per executed seq
 

@@ -38,8 +38,15 @@ struct GroupConfig {
 
 // Invoked exactly once per decided slot, in sequence order, with identical
 // (seq, origin, op) at every correct replica. The op is a refcounted
-// Payload frozen once at the engine boundary; consumers slice it further
-// (unwrap, decode) without copying.
+// net::Payload slice of the frame it was agreed in — Dolev-Strong hands out
+// slices of the decided batch, PBFT slices of the pre-prepare (or state-
+// reply) frame — so the decide path is zero-copy end to end; consumers
+// slice it further (unwrap, decode) without copying. Ownership contract
+// (net/message.h): the slice pins its whole frame, which is fine for the
+// prompt deliver-decode-drop pattern every current consumer follows; a
+// consumer archiving ops long-term must copy out via to_bytes(). The op's
+// SHA-256, if anyone needs it, is Payload::digest() — memoized on the
+// frame, shared with every other holder.
 using DecideFn = std::function<void(std::uint64_t seq, NodeId origin, const net::Payload& op)>;
 
 // Fault threshold rules (paper §3.1).

@@ -271,5 +271,49 @@ TEST_F(AShareFixture, ParallelPullUsesMultipleHolders) {
   EXPECT_GE(stats.holders_used, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy transfer tail: pieces are slices of their arrival frames, the
+// integrity check hashes each chunk exactly once, and reassembly is the
+// only copy a user GET makes.
+// ---------------------------------------------------------------------------
+
+TEST_F(AShareFixture, TransferPiecesAliasReplyFramesAndHashOncePerChunk) {
+  deploy(12);
+  // Quiesce the background: no probabilistic replication (its GETs and
+  // kMsgReplica broadcasts would hash concurrently with ours).
+  for (auto& [id, n] : nodes) n->set_auto_replication(false);
+
+  constexpr std::size_t kChunks = 8;
+  const Bytes content = blob(40'000, 0x7c);  // 5 KB chunks: replies stagger
+  nodes[0]->put("big.bin", content, kChunks);
+  run_for(seconds(30));  // metadata settles everywhere
+
+  const std::uint64_t base = crypto::sha256_digest_count();
+  Bytes got;
+  GetStats stats;
+  nodes[5]->get(FileKey{0, "big.bin"},
+                [&](Bytes c, const GetStats& s) { got = std::move(c); stats = s; });
+
+  // Step the transfer and inspect the in-flight buffer: every piece must
+  // still be a slice of the (larger) kChunkReply frame it arrived in.
+  bool saw_inflight_piece = false;
+  const TimeMicros deadline = sys->simulator().now() + seconds(60);
+  while (!stats.ok && sys->simulator().now() < deadline) {
+    run_for(millis(1));
+    nodes[5]->for_each_inflight_piece([&](const net::Payload& p) {
+      saw_inflight_piece = true;
+      EXPECT_GT(p.frame_size(), p.size());  // aliases the frame, owns nothing
+    });
+  }
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(got, content);
+  EXPECT_EQ(stats.corrupt_chunks, 0u);
+  EXPECT_TRUE(saw_inflight_piece);
+  // One SHA-256 per chunk at the getter (memoized per reply frame); the
+  // serving holder hashes nothing. Background traffic is quiet (auto-
+  // replication off, heartbeats unhashed), so the count is exact.
+  EXPECT_EQ(crypto::sha256_digest_count() - base, kChunks);
+}
+
 }  // namespace
 }  // namespace atum::ashare

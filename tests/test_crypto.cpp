@@ -180,5 +180,22 @@ TEST(Keys, SigningIsStable) {
   EXPECT_EQ(ks.key_of(1).sign(msg), ks.key_of(1).sign(msg));
 }
 
+// ---------------------------------------------------------------------------
+// Digest-count instrumentation (the hook the Payload-cache tests build on)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256, DigestCountTracksEveryFinish) {
+  const std::uint64_t base = sha256_digest_count();
+  (void)sha256("one");
+  EXPECT_EQ(sha256_digest_count(), base + 1);
+  Sha256 h;
+  h.update(from_str("two"));
+  (void)h.finish();
+  EXPECT_EQ(sha256_digest_count(), base + 2);
+  // HMAC-SHA256 is two nested hashes per tag.
+  (void)hmac_sha256(from_str("key"), from_str("msg"));
+  EXPECT_EQ(sha256_digest_count(), base + 4);
+}
+
 }  // namespace
 }  // namespace atum::crypto

@@ -408,5 +408,88 @@ TEST_F(NetFixture, ActiveFlowsSurviveTheSweep) {
   EXPECT_GE(last, static_cast<TimeMicros>(per_msg * (kSenders - 1)));
 }
 
+// ---------------------------------------------------------------------------
+// Payload digest cache: SHA-256 computed at most once per (frame, range),
+// memoized on the shared control block.
+// ---------------------------------------------------------------------------
+
+TEST(PayloadDigest, ComputedOnceAndSharedAcrossCopiesAndSlices) {
+  Payload p(Bytes(300, 0x42));
+  const std::uint64_t base = crypto::sha256_digest_count();
+  crypto::Digest d = p.digest();
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+
+  // Copies and re-slices of the same range are cache hits: the memo lives
+  // on the buffer control block, not on the Payload value.
+  Payload copy = p;
+  EXPECT_EQ(copy.digest(), d);
+  Payload whole = p.slice({p.data(), p.size()});
+  EXPECT_EQ(whole.digest(), d);
+  EXPECT_EQ(p.digest(), d);
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+
+  // And the cached value is the real digest.
+  EXPECT_EQ(d, crypto::sha256(p.data(), p.size()));
+}
+
+TEST(PayloadDigest, MemoIsKeyedByRange) {
+  Payload frame(Bytes{1, 2, 3, 4, 5, 6, 7, 8});
+  Payload head = frame.slice({frame.data(), 4});
+  Payload tail = frame.slice({frame.data() + 4, 4});
+
+  crypto::Digest dh = head.digest();
+  crypto::Digest dt = tail.digest();
+  EXPECT_NE(dh, dt);
+  EXPECT_EQ(dh, crypto::sha256(head.data(), head.size()));
+  EXPECT_EQ(dt, crypto::sha256(tail.data(), tail.size()));
+
+  // One-entry memo: the last range computed is the one cached.
+  const std::uint64_t base = crypto::sha256_digest_count();
+  EXPECT_EQ(tail.digest(), dt);  // hit
+  EXPECT_EQ(crypto::sha256_digest_count(), base);
+  EXPECT_EQ(head.digest(), dh);  // miss: recomputes and takes the slot
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+}
+
+TEST_F(NetFixture, DigestCacheSurvivesDeliveryAcrossRecipients) {
+  auto net = make(cfg);
+  std::uint64_t base = 0;
+  std::size_t handled = 0;
+  crypto::Digest expect{};
+  for (NodeId n = 1; n <= 8; ++n) {
+    net->attach(n, [&](const Message& m) {
+      // Every recipient wants the digest of the same shared frame; only
+      // the first computes it.
+      EXPECT_EQ(m.payload.digest(), expect);
+      EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+      ++handled;
+    });
+  }
+  Payload shared(Bytes(2048, 0x9c));
+  expect = crypto::sha256(shared.data(), shared.size());
+  for (NodeId n = 1; n <= 8; ++n) {
+    net->send(Message{0, n, MsgType::kAppData, shared});
+  }
+  base = crypto::sha256_digest_count();
+  sim.run();
+  EXPECT_EQ(handled, 8u);
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+}
+
+TEST(Payload, FrameSizeExposesThePinnedBuffer) {
+  Payload frame(Bytes(100, 0x11));
+  EXPECT_EQ(frame.frame_size(), 100u);
+  EXPECT_EQ(frame.frame_size(), frame.size());
+
+  // A slice still reports the whole backing frame it pins.
+  Payload part = frame.slice({frame.data() + 10, 20});
+  EXPECT_EQ(part.size(), 20u);
+  EXPECT_EQ(part.frame_size(), 100u);
+
+  // Copying out yields an independently owned buffer.
+  Payload owned(part.to_bytes());
+  EXPECT_EQ(owned.frame_size(), owned.size());
+}
+
 }  // namespace
 }  // namespace atum::net

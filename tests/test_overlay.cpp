@@ -356,6 +356,59 @@ TEST_F(GmFixture, PendingStaysBoundedUnderSustainedBroadcast) {
 }
 
 // ---------------------------------------------------------------------------
+// Vouch-path digest caching: SHA-256 at most once per frame, regardless of
+// how many receivers, relays, or digest-rank senders touch it.
+// ---------------------------------------------------------------------------
+
+TEST_F(GmFixture, SameFrameVouchedAtManyReceiversHashesOnce) {
+  make_receiver();
+  GroupMessageReceiver rx2(net::Transport(net, 101),
+                           [&](const GroupMessageId&, NodeId, net::Payload) {});
+  rx2.set_group_size_fn([](GroupId) -> std::optional<std::size_t> { return 5; });
+
+  // Member 1 has rank 0 of 5: a full-payload sender. One frozen wire frame
+  // fans out to both receivers.
+  net::Payload payload(Bytes(512, 0xEE));
+  PreparedGroupMessage msg(group_a, /*self=*/1, GroupMessageId{50, 9}, payload);
+  net::Transport t(net, 1);
+  const std::uint64_t base = crypto::sha256_digest_count();
+  msg.send_to(t, {receiver, 101}, rng);
+  sim.run();
+  // Both receivers vouched for the SAME frame slice; the digest memo on
+  // the frame's control block means exactly one SHA-256 ran.
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
+}
+
+TEST_F(GmFixture, FullGroupSendHashesOncePerFrameAndOncePerSharedPayload) {
+  make_receiver();
+  std::vector<net::Payload> got2;
+  GroupMessageReceiver rx2(net::Transport(net, 101),
+                           [&](const GroupMessageId&, NodeId, net::Payload p) {
+                             got2.push_back(std::move(p));
+                           });
+  rx2.set_group_size_fn([](GroupId) -> std::optional<std::size_t> { return 5; });
+
+  // All five members send the same frozen payload to both receivers: ranks
+  // 0-2 send full frames (one frozen frame each), ranks 3-4 send digests
+  // derived from the SHARED payload buffer.
+  net::Payload payload(Bytes(512, 0xEE));
+  const std::uint64_t base = crypto::sha256_digest_count();
+  for (NodeId s : group_a) {
+    net::Transport t(net, s);
+    PreparedGroupMessage(group_a, s, GroupMessageId{50, 9}, payload)
+        .send_to(t, {receiver, 101}, rng);
+  }
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  ASSERT_EQ(got2.size(), 1u);
+  EXPECT_EQ(delivered[0].second, payload);
+  // 3 full frames hashed once each (both receivers share each frame's
+  // memo) + 1 digest for the shared payload reused by both digest-rank
+  // senders. The uncached path would hash 3*2 (vouches) + 2 (senders) = 8.
+  EXPECT_EQ(crypto::sha256_digest_count(), base + 4);
+}
+
+// ---------------------------------------------------------------------------
 // Random walks
 // ---------------------------------------------------------------------------
 

@@ -297,5 +297,47 @@ TEST_P(PbftSweep, AgreementUnderMaxFaults) {
 
 INSTANTIATE_TEST_SUITE_P(GroupSizes, PbftSweep, ::testing::Values(4, 5, 6, 7, 10, 13));
 
+// ---------------------------------------------------------------------------
+// Zero-copy decide path: the log retains ops as net::Payload slices of the
+// pre-prepare frame, and the decide callback hands out the same slice.
+// ---------------------------------------------------------------------------
+
+TEST(Pbft, DecidedOpAliasesThePrePrepareFrame) {
+  AsyncGroup g(4);
+  std::vector<net::Payload> decided_ops;
+  // Replica 2 is a backup: its copy of the op arrives inside the primary's
+  // pre-prepare frame.
+  g.at(2).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload& op) {
+    decided_ops.push_back(op);
+  });
+  g.at(0).propose(op_bytes("zero-copy"));  // node 0 is primary of view 0
+  g.run_for(seconds(1));
+
+  ASSERT_EQ(decided_ops.size(), 1u);
+  const net::Payload& op = decided_ops[0];
+  EXPECT_EQ(op, op_bytes("zero-copy"));
+  // Slice, not copy: the payload still points into the larger pre-prepare
+  // frame (view + seq + digest + id + op)...
+  EXPECT_GT(op.frame_size(), op.size());
+  // ...and that frame is still shared with the replicas' logs and
+  // exec histories — nobody materialized a private copy.
+  EXPECT_GT(op.use_count(), 1);
+}
+
+TEST(Pbft, ProposerDecidesItsOwnFrozenBuffer) {
+  AsyncGroup g(4);
+  std::vector<net::Payload> decided_ops;
+  // Replica 0 is the primary AND the op's origin: its logged op is the
+  // buffer frozen in propose(), not a frame slice.
+  g.at(0).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload& op) {
+    decided_ops.push_back(op);
+  });
+  g.at(0).propose(op_bytes("local"));
+  g.run_for(seconds(1));
+  ASSERT_EQ(decided_ops.size(), 1u);
+  EXPECT_EQ(decided_ops[0].frame_size(), decided_ops[0].size());
+  EXPECT_GT(decided_ops[0].use_count(), 1);  // shared with log/exec_history
+}
+
 }  // namespace
 }  // namespace atum::smr

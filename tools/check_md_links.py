@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in markdown docs.
+
+Usage: tools/check_md_links.py [FILE.md ...]   (defaults to the three
+top-level docs). A link is "intra-repo" when it is not an absolute URL;
+the target path is resolved relative to the linking file and must exist.
+Anchors (`#section`) are stripped before the existence check — section
+renames are not detected, only missing files.
+
+Run locally from the repo root; CI runs it in the `docs` job so a doc
+rename that orphans a link fails the build instead of rotting quietly.
+"""
+import os
+import re
+import sys
+
+DEFAULT_FILES = ["README.md", "ARCHITECTURE.md", "ROADMAP.md"]
+# [text](target) — target up to the first ')' or whitespace.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def main(argv):
+    files = argv or DEFAULT_FILES
+    bad = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as e:
+            bad.append((path, f"<unreadable: {e}>"))
+            continue
+        base = os.path.dirname(os.path.abspath(path))
+        for m in LINK.finditer(text):
+            target = m.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:  # pure in-page anchor
+                continue
+            if not os.path.exists(os.path.join(base, local)):
+                bad.append((path, target))
+    for src, target in bad:
+        print(f"dead link: {src} -> {target}")
+    print(f"checked {len(files)} file(s), {len(bad)} dead link(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
