@@ -128,6 +128,7 @@ void AStreamNode::stream_chunk(Bytes data) {
 
   // Tier 2: push the chunk down the tree; children pull what follows.
   fan_out_chunk(seq, /*include_children=*/true);
+  maybe_evict_store();
 }
 
 net::Payload AStreamNode::outgoing_chunk(std::uint64_t seq) const {
@@ -158,6 +159,7 @@ void AStreamNode::fan_out_chunk(std::uint64_t seq, bool include_children) {
   // dissemination tree's hot path) shares one buffer.
   net::Payload frame(encode_chunk_frame(seq));
   if (push) {
+    furthest_child_pull_ = std::max(furthest_child_pull_, seq);
     for (NodeId child : children_) {
       transport_.send(child, net::MsgType::kStreamChunk, frame);
     }
@@ -212,6 +214,16 @@ void AStreamNode::on_stream_message(const net::Message& msg) {
         std::uint64_t stream = r.u64();
         std::uint64_t seq = r.u64();
         if (stream != config_.stream_id) return;
+        // The pull horizon feeds store eviction, so it only advances as far
+        // as this node can corroborate the stream has reached (its own
+        // horizon, the source counter, the furthest tier-1 digest): a
+        // Byzantine child pulling seq 2^60 must not evict the whole store.
+        std::uint64_t known_head = std::max(delivered_up_to_, source_seq_);
+        if (!digests_.empty()) known_head = std::max(known_head, digests_.rbegin()->first);
+        furthest_child_pull_ = std::max(furthest_child_pull_, std::min(seq, known_head));
+        // An evicted chunk is gone for good here: stay silent and let the
+        // child's pull timeout fail it over to another parent (§4.3).
+        if (config_.store_window > 0 && seq <= eviction_floor_) return;
         if (verified_.contains(seq)) {
           ByteWriter w;
           w.u64(config_.stream_id);
@@ -294,7 +306,25 @@ void AStreamNode::try_verify_buffered() {
     ++delivered_up_to_;
     if (on_chunk_) on_chunk_(delivered_up_to_, verified_[delivered_up_to_]);
   }
+  maybe_evict_store();
   if (progressed) pull_next();
+}
+
+void AStreamNode::maybe_evict_store() {
+  if (config_.store_window == 0) return;
+  const std::uint64_t head = std::max(delivered_up_to_, furthest_child_pull_);
+  if (head <= config_.store_window) return;
+  // Never evict past the node's own in-order delivery horizon: a fast
+  // child's pulls must not discard chunks this node has yet to deliver
+  // (and whose digests pull_next still needs).
+  const std::uint64_t floor = std::min(head - config_.store_window, delivered_up_to_);
+  if (floor <= eviction_floor_) return;
+  eviction_floor_ = floor;
+  auto sweep = [floor](auto& m) { m.erase(m.begin(), m.upper_bound(floor)); };
+  sweep(verified_);
+  sweep(digests_);
+  sweep(unverified_);
+  sweep(pending_pulls_);
 }
 
 void AStreamNode::pull_next() {

@@ -44,6 +44,17 @@ struct StreamConfig {
   // 0 (default) keeps today's pure zero-copy behavior; long-lived
   // deployments that archive streams should set it (e.g. to a few KiB).
   std::size_t copy_out_threshold = 0;
+  // Bounded chunk store (ROADMAP: verified_ otherwise keeps every chunk of
+  // the stream forever). When > 0, chunks more than store_window behind the
+  // stream head — the furthest of this node's own delivery horizon and the
+  // furthest chunk any child has pulled — are evicted from the store
+  // (verified data, digests, unverified buffers and parked pulls alike),
+  // never past the node's own in-order delivery horizon. A child lagging
+  // more than the window behind finds its pull unanswerable here and fails
+  // over to another parent (the §4.3 mechanism), exactly as if this parent
+  // had crashed; pick a window comfortably above the pull pipeline depth.
+  // 0 = unbounded (archive semantics).
+  std::size_t store_window = 0;
 };
 
 class AStreamNode {
@@ -80,6 +91,10 @@ class AStreamNode {
   std::uint64_t chunks_delivered() const { return delivered_up_to_; }
   const std::vector<NodeId>& parents() const { return parents_; }
   std::size_t child_count() const { return children_.size(); }
+  // Windowing introspection (store_window tests/benches).
+  std::size_t store_size() const { return verified_.size(); }
+  std::size_t digest_count() const { return digests_.size(); }
+  std::uint64_t eviction_floor() const { return eviction_floor_; }
 
  private:
   void on_deliver(NodeId origin, const net::Payload& payload);  // tier-1 digests
@@ -91,6 +106,9 @@ class AStreamNode {
   void fan_out_chunk(std::uint64_t seq, bool include_children);
   void pull_next();
   void arm_pull_timer(std::uint64_t seq);
+  // Applies StreamConfig::store_window: advances eviction_floor_ and drops
+  // every per-chunk structure at or below it.
+  void maybe_evict_store();
   net::Payload outgoing_chunk(std::uint64_t seq) const;
   // stream_id + seq + chunk body, the frame pushed down the tree.
   Bytes encode_chunk_frame(std::uint64_t seq) const;
@@ -120,6 +138,10 @@ class AStreamNode {
   std::map<std::uint64_t, std::vector<NodeId>> pending_pulls_;  // seq -> waiting children
   std::uint64_t delivered_up_to_ = 0;    // all chunks <= this are delivered
   std::uint64_t source_seq_ = 0;
+  // Furthest chunk any child pulled or was pushed; with delivered_up_to_
+  // this defines the stream head the store_window trails behind.
+  std::uint64_t furthest_child_pull_ = 0;
+  std::uint64_t eviction_floor_ = 0;     // chunks <= this were evicted
   sim::EventId pull_timer_ = 0;
   ChunkFn on_chunk_;
   DigestFn on_digest_;

@@ -242,6 +242,28 @@ void AtumNode::setup_runtime() {
 // §3.3 API
 // ===========================================================================
 
+void AtumNode::set_behavior(NodeBehavior behavior) {
+  if (behavior == behavior_) return;
+  behavior_ = behavior;
+  if (!runtime_active_) return;
+  if (smr_) {
+    if (behavior_ == NodeBehavior::kCorrect) {
+      smr_->set_fault(smr::DsFaultMode::kCorrect, smr::PbftFaultMode::kCorrect);
+    } else {
+      smr_->set_fault(smr::DsFaultMode::kSilent, smr::PbftFaultMode::kSilent);
+    }
+  }
+  // Heartbeating follows the behavior: silent nodes fall quiet (and get
+  // evicted), every other behavior keeps the timer (the evictor depends on
+  // it to avoid eviction).
+  if (behavior_ == NodeBehavior::kSilent) {
+    heartbeat_timer_.reset();
+  } else if (!heartbeat_timer_) {
+    heartbeat_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sys_.simulator(), sys_.params().heartbeat_period, [this] { heartbeat_tick(); });
+  }
+}
+
 void AtumNode::join(NodeId contact) {
   if (runtime_active_) throw std::logic_error("AtumNode::join: already joined");
   ByteWriter w;

@@ -127,6 +127,14 @@ class AtumNode {
   NodeId id() const { return id_; }
   NodeBehavior behavior() const { return behavior_; }
 
+  // Runtime behavior conversion (§6.1.3 applied mid-run; the scenario
+  // engine's Byzantine-storm primitive). A correct node turned faulty goes
+  // protocol-silent from its next action (its SMR replica flips to the
+  // silent fault mode, the evictor keeps heartbeating and starts proposing
+  // evictions, the silent variant stops heartbeating and will eventually
+  // be evicted); a faulty node turned correct resumes full participation.
+  void set_behavior(NodeBehavior behavior);
+
   // ----- §3.3 API -----
   // Creates a new Atum instance: a single vgroup containing only this node.
   void bootstrap();
@@ -140,6 +148,10 @@ class AtumNode {
   void broadcast(Bytes payload);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  // The currently installed deliver callback (copy). Lets a harness chain a
+  // metrics tap in front of an application handler: grab the handler, then
+  // set_deliver a wrapper that calls both (see scenario::ScenarioDriver).
+  DeliverFn deliver_handler() const { return deliver_; }
   void set_forward(overlay::ForwardFn fn) { gossip_.set_forward(std::move(fn)); }
 
   // ----- introspection -----

@@ -119,7 +119,83 @@ DurationMicros SimNetwork::latency_between(NodeId from, NodeId to) {
 
 bool SimNetwork::link_ok(NodeId from, NodeId to) const {
   if (isolated_.contains(from) || isolated_.contains(to)) return false;
+  if (!partition_tag_.empty()) {
+    auto tag = [this](NodeId n) -> std::uint32_t {
+      auto it = partition_tag_.find(n);
+      return it == partition_tag_.end() ? 0 : it->second;
+    };
+    if (tag(from) != tag(to)) return false;
+  }
   return !blocked_links_.contains(link_key(from, to));
+}
+
+void SimNetwork::partition(const std::vector<std::vector<NodeId>>& sides) {
+  partition_tag_.clear();
+  std::uint32_t tag = 0;
+  for (const auto& side : sides) {
+    ++tag;
+    for (NodeId n : side) partition_tag_[n] = tag;
+  }
+}
+
+void SimNetwork::heal_partition() {
+  partition_tag_.clear();
+  sweep_flows();
+}
+
+void SimNetwork::set_link_fault(NodeId a, NodeId b, LinkFault fault) {
+  if (fault.none()) {
+    clear_link_fault(a, b);
+  } else {
+    link_faults_[link_key(a, b)] = fault;
+  }
+}
+
+void SimNetwork::clear_link_fault(NodeId a, NodeId b) {
+  link_faults_.erase(link_key(a, b));
+}
+
+void SimNetwork::set_node_fault(NodeId node, LinkFault fault) {
+  if (fault.none()) {
+    clear_node_fault(node);
+  } else {
+    node_faults_[node] = fault;
+  }
+}
+
+void SimNetwork::clear_node_fault(NodeId node) { node_faults_.erase(node); }
+
+void SimNetwork::clear_link_faults() {
+  link_faults_.clear();
+  node_faults_.clear();
+  sweep_flows();
+}
+
+LinkFault SimNetwork::fault_between(NodeId from, NodeId to) const {
+  if (link_faults_.empty() && node_faults_.empty()) return {};
+  LinkFault out;
+  double pass = 1.0;  // probability the message survives every fault
+  auto fold = [&](const LinkFault& f) {
+    pass *= 1.0 - f.drop;
+    out.extra_latency += f.extra_latency;
+  };
+  if (auto it = link_faults_.find(link_key(from, to)); it != link_faults_.end()) {
+    fold(it->second);
+  }
+  if (auto it = node_faults_.find(from); it != node_faults_.end()) fold(it->second);
+  if (auto it = node_faults_.find(to); it != node_faults_.end()) fold(it->second);
+  out.drop = 1.0 - pass;
+  return out;
+}
+
+std::size_t SimNetwork::sweep_flows() {
+  const TimeMicros now = sim_.now();
+  std::size_t evicted = std::erase_if(flows_, [now](const auto& kv) {
+    return kv.second.egress_free <= now && kv.second.ingress_free <= now;
+  });
+  sends_since_flow_prune_ = 0;
+  flow_sweep_allowance_ = flows_.size() + kMinFlowSweep;
+  return evicted;
 }
 
 void SimNetwork::isolate(NodeId node, bool isolated) {
@@ -147,12 +223,7 @@ void SimNetwork::maybe_prune_flows() {
   // (not compared against the live size, which can grow one-per-send and
   // outrun any counter), making the sweep O(1) amortized per message.
   if (++sends_since_flow_prune_ < flow_sweep_allowance_) return;
-  sends_since_flow_prune_ = 0;
-  const TimeMicros now = sim_.now();
-  std::erase_if(flows_, [now](const auto& kv) {
-    return kv.second.egress_free <= now && kv.second.ingress_free <= now;
-  });
-  flow_sweep_allowance_ = flows_.size() + kMinFlowSweep;
+  sweep_flows();
 }
 
 void SimNetwork::send(Message msg) {
@@ -164,7 +235,12 @@ void SimNetwork::send(Message msg) {
     ++stats_.messages_blocked;
     return;
   }
+  const LinkFault fault = fault_between(msg.from, msg.to);
   if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (fault.drop > 0.0 && rng_.chance(fault.drop)) {
     ++stats_.messages_dropped;
     return;
   }
@@ -185,6 +261,11 @@ void SimNetwork::send(Message msg) {
       size / config_.ingress_bytes_per_sec * kMicrosPerSecond);
   TimeMicros deliver = std::max(arrive, in.ingress_free) + ingress_cost + config_.per_message_cpu;
   in.ingress_free = deliver;
+  // Injected fault latency is pure propagation: it delays delivery without
+  // occupying the ingress horizon, so a cleared fault leaves no far-future
+  // flow entries behind (they would be unsweepable until sim time caught
+  // up with the inflated horizon).
+  deliver += fault.extra_latency;
 
   sim_.schedule_at(deliver, [this, m = std::move(msg)]() {
     const MessageHandler* handler = handler_for(m.to, m.type);

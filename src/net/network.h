@@ -61,6 +61,18 @@ struct NetworkStats {
 
 using MessageHandler = std::function<void(const Message&)>;
 
+// Injected link degradation (scenario fault primitives): `drop` is an extra
+// loss probability and `extra_latency` an added path delay (a rerouted or
+// congested WAN path). Injected latency is pure propagation — it delays the
+// delivery event but does NOT occupy the receiver's ingress serialization
+// horizon, so a degraded spell cannot park flow entries with far-future
+// horizons that outlive the fault (see sweep_flows()).
+struct LinkFault {
+  double drop = 0.0;
+  DurationMicros extra_latency = 0;
+  bool none() const { return drop == 0.0 && extra_latency == 0; }
+};
+
 class SimNetwork {
  public:
   SimNetwork(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed = 0x7e77e7ULL);
@@ -83,6 +95,39 @@ class SimNetwork {
   void block_link(NodeId a, NodeId b, bool blocked);  // bidirectional
   void set_drop_probability(double p) { config_.drop_probability = p; }
 
+  // --- partitions (scenario engine) ---
+  // Splits the network into components: nodes in sides[i] get tag i+1,
+  // every other node keeps tag 0, and a message passes only between nodes
+  // with equal tags. Replaces any previous partition. Messages already in
+  // flight are re-checked at delivery time, so a partition starting now
+  // also cuts them off.
+  void partition(const std::vector<std::vector<NodeId>>& sides);
+  // Removes the partition and sweeps the flow table exactly (a partition
+  // stalls traffic, and with it the send-driven amortized sweep; healing
+  // must not leave dead serialization entries behind — see flow_count()).
+  void heal_partition();
+  bool partitioned() const { return !partition_tag_.empty(); }
+
+  // --- link degradation (scenario engine) ---
+  // Overrides compose: the effective fault on (from,to) combines the
+  // per-link override and both endpoints' node-level overrides (loss as
+  // independent events, latency additively). Bidirectional, like
+  // block_link.
+  void set_link_fault(NodeId a, NodeId b, LinkFault fault);
+  void clear_link_fault(NodeId a, NodeId b);
+  // Applies to every link touching `node` (a degraded rack uplink).
+  void set_node_fault(NodeId node, LinkFault fault);
+  void clear_node_fault(NodeId node);
+  // Clears all link and node faults, then sweeps the flow table (same
+  // rationale as heal_partition).
+  void clear_link_faults();
+
+  // Exact, immediate sweep of idle flow entries (the amortized sweep rides
+  // on send() and stalls when traffic does — partitions, quiescent drain
+  // phases). Returns the number of entries evicted. Scenario metrics call
+  // this before reading flow_count().
+  std::size_t sweep_flows();
+
   const NetworkStats& stats() const { return stats_; }
   const NetworkConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
@@ -102,6 +147,7 @@ class SimNetwork {
   bool link_ok(NodeId from, NodeId to) const;
   std::size_t region_of(NodeId node) const;
   void maybe_prune_flows();
+  LinkFault fault_between(NodeId from, NodeId to) const;
 
   struct NodeHandlers {
     MessageHandler fallback;
@@ -131,6 +177,10 @@ class SimNetwork {
   std::size_t flow_sweep_allowance_ = kMinFlowSweep;
   std::unordered_set<NodeId> isolated_;
   std::unordered_set<LinkKey, LinkKeyHash> blocked_links_;
+  // Partition tags: absent = tag 0. Non-empty iff a partition is active.
+  std::unordered_map<NodeId, std::uint32_t> partition_tag_;
+  std::unordered_map<LinkKey, LinkFault, LinkKeyHash> link_faults_;
+  std::unordered_map<NodeId, LinkFault> node_faults_;
   NetworkStats stats_;
 };
 

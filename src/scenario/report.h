@@ -1,0 +1,112 @@
+// Scenario metrics report: what ScenarioDriver::run() returns and what the
+// atum_scenario CLI serializes. Deliveries, latencies, joins and leaves are
+// attributed to the phase that INITIATED them (the phase the broadcast was
+// sent in / the join was requested in), even when completion lands in a
+// later phase or the drain — a partition phase therefore owns the losses it
+// caused, and the heal phase owns the recovery.
+//
+// to_json() is byte-deterministic: fixed key order, fixed float formatting,
+// and every value derived from the seeded simulation. Two runs of the same
+// spec + seed serialize identically (pinned by test_scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace atum::scenario {
+
+struct PhaseMetrics {
+  std::string name;
+  TimeMicros start = 0;  // sim time
+  TimeMicros end = 0;
+
+  // Broadcast workload (attributed to the sending phase).
+  std::uint64_t broadcasts_sent = 0;
+  std::uint64_t deliveries_expected = 0;  // sum over broadcasts of eligible receivers at send
+  std::uint64_t deliveries = 0;
+  std::uint64_t broadcasts_fully_delivered = 0;  // reached every eligible receiver
+  // Broadcast delivery latency (origin send -> node deliver), milliseconds.
+  std::size_t latency_samples = 0;
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p95 = 0.0;
+  double latency_ms_p99 = 0.0;
+  double latency_ms_max = 0.0;
+
+  // Churn (attributed to the requesting phase).
+  std::uint64_t joins_requested = 0;
+  std::uint64_t joins_completed = 0;
+  std::uint64_t leaves_requested = 0;
+  std::uint64_t leaves_completed = 0;
+
+  // Stream workload (attributed to the chunk's sending phase).
+  std::uint64_t stream_chunks_sent = 0;
+  std::uint64_t stream_deliveries_expected = 0;
+  std::uint64_t stream_deliveries = 0;
+
+  // Fault primitives applied in this phase.
+  std::uint64_t byzantine_converted = 0;
+  std::uint64_t groups_killed = 0;
+  std::uint64_t nodes_killed = 0;
+
+  // Network activity during the phase (deltas of SimNetwork counters).
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msgs_blocked = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t sha256_digests = 0;
+
+  // End-of-phase gauges (memory/pressure proxies).
+  std::uint64_t joined_correct_end = 0;
+  std::uint64_t correct_evicted_end = 0;  // correct nodes expelled without asking to leave
+  std::uint64_t group_count_end = 0;
+  std::uint64_t live_events_end = 0;
+  std::uint64_t slot_count_end = 0;  // simulator arena = peak concurrent events so far
+  std::uint64_t flow_count_end = 0;  // after an exact sweep
+
+  // Heal phases only: sim time from the heal to the first post-heal
+  // broadcast that reached every eligible receiver. -1 elsewhere / never.
+  DurationMicros heal_to_full_delivery = -1;
+
+  double delivery_ratio() const {
+    return deliveries_expected == 0
+               ? 1.0
+               : static_cast<double>(deliveries) / static_cast<double>(deliveries_expected);
+  }
+  double join_ratio() const {
+    return joins_requested == 0
+               ? 1.0
+               : static_cast<double>(joins_completed) / static_cast<double>(joins_requested);
+  }
+  double stream_ratio() const {
+    return stream_deliveries_expected == 0
+               ? 1.0
+               : static_cast<double>(stream_deliveries) /
+                     static_cast<double>(stream_deliveries_expected);
+  }
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::uint64_t initial_nodes = 0;
+  std::vector<PhaseMetrics> phases;
+
+  // Whole-run summary.
+  TimeMicros sim_end = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t total_msgs_sent = 0;
+  std::uint64_t total_bytes_sent = 0;
+  std::uint64_t total_sha256_digests = 0;
+
+  const PhaseMetrics* phase(const std::string& name) const;
+  double total_delivery_ratio() const;
+
+  // Deterministic serialization (see file comment).
+  std::string to_json() const;
+};
+
+}  // namespace atum::scenario

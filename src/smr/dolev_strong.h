@@ -63,6 +63,12 @@ class DolevStrongSmr final : public SmrEngine {
   std::uint64_t decided_count() const override { return decided_; }
   void stop() override;
 
+  // Runtime fault conversion (scenario Byzantine-storm primitive): fault_
+  // is consulted at every send/propose/relay decision, so flipping it on a
+  // live replica takes effect from the next protocol action.
+  void set_fault(DsFaultMode fault) { fault_ = fault; }
+  DsFaultMode fault() const { return fault_; }
+
   std::size_t max_faults() const { return sync_max_faults(config_.size()); }
   // Rounds per slot: f+1 relay rounds plus the initial broadcast round.
   std::size_t rounds_per_slot() const { return max_faults() + 2; }

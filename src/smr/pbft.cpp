@@ -30,6 +30,16 @@ PbftSmr::PbftSmr(net::Transport transport, GroupConfig config, crypto::KeyStore&
       fault_(fault),
       current_timeout_(options.view_change_timeout) {
   config_.normalize();
+  // Instance tag: scopes state fetch/reply to THIS engine instance. Every
+  // replica of one instance — including a state-synced joiner whose local
+  // epoch counter differs — derives the same tag from the shared member
+  // list; successive epochs always differ in membership (no-op reconfigs
+  // are dropped), so an old-instance laggard cannot adopt a successor
+  // instance's history as its own.
+  ByteWriter tw;
+  tw.str("pbft-instance");
+  for (NodeId n : config_.members) tw.u64(n);
+  instance_tag_ = crypto::digest_prefix64(crypto::sha256(tw.data()));
   transport_.listen({net::MsgType::kPbftRequest, net::MsgType::kPbftPrePrepare,
                      net::MsgType::kPbftPrepare, net::MsgType::kPbftCommit,
                      net::MsgType::kPbftCheckpoint, net::MsgType::kPbftViewChange,
@@ -302,11 +312,60 @@ void PbftSmr::try_execute() {
     if (!committed || entry.executed) break;
     execute_entry(next_exec_ + 1, entry);
   }
+  maybe_fetch_missing_head();
+}
+
+void PbftSmr::maybe_fetch_missing_head() {
+  // Only when the next sequence cannot be reconstructed locally: it is
+  // either absent from the log or present as a shell of prepares/commits
+  // whose pre-prepare — the message that carries the op — predates this
+  // replica's attachment (state-synced joiner) or was lost to a partition.
+  // Evidence required before fetching: quorum commits on some entry at or
+  // beyond the head, proving the instance decided it without us.
+  auto head = log_.find(next_exec_ + 1);
+  if (head != log_.end() && head->second.pre_prepared) return;  // normal path
+  // Rate limit and round bound BEFORE the anchor scan: with a gap open,
+  // try_execute runs on every prepare/commit and the O(window) scan below
+  // must not ride the message hot path. Rounds are finite so a permanent
+  // zombie (its instance retired under it) stops fetching instead of
+  // probing forever — which also bounds the window for the residual
+  // instance-tag collision (see the ctor comment); the counter resets
+  // whenever execution progresses.
+  const TimeMicros now = transport_.simulator().now();
+  if (now - last_head_fetch_ < options_.view_change_timeout) return;
+  if (head_fetch_rounds_ >= kMaxHeadFetchRounds) return;
+  std::uint64_t anchor = 0;  // first quorum-committed seq at/beyond the head
+  for (auto it = head != log_.end() ? head : log_.upper_bound(next_exec_ + 1);
+       it != log_.end(); ++it) {
+    if (it->second.commits.size() >= quorum()) {
+      anchor = it->first;
+      break;
+    }
+  }
+  if (anchor == 0) return;  // no proof the instance is ahead of us
+  last_head_fetch_ = now;
+  ++head_fetch_rounds_;
+  state_reply_votes_.clear();  // votes from older rounds cover other ranges
+  // Ask 2f+1 peers for exactly [next_exec_, anchor): pinning the range end
+  // makes every correct replier's bytes identical, so the f+1-matching
+  // acceptance rule can fire. Up to f of those asked may be faulty or
+  // equally behind; enough matching replies can still form.
+  std::size_t asked = 0;
+  for (NodeId node : config_.members) {
+    if (node == transport_.self()) continue;
+    if (asked++ >= 2 * max_faults() + 1) break;
+    ByteWriter w;
+    w.u64(instance_tag_);
+    w.u64(next_exec_);
+    w.u64(anchor);
+    transport_.send(node, net::MsgType::kPbftStateFetch, w.data());
+  }
 }
 
 void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
   entry.executed = true;
   next_exec_ = seq;
+  head_fetch_rounds_ = 0;  // progress: future gaps get fresh fetch rounds
   const Request& req = *entry.request;
   bool is_null = req.id.origin == kNullOrigin;
   bool duplicate = !is_null && !executed_requests_.insert(req.id).second;
@@ -399,7 +458,9 @@ void PbftSmr::request_state_transfer() {
     for (const auto& [node, digest] : it->second) {
       if (node == transport_.self()) continue;
       ByteWriter w;
+      w.u64(instance_tag_);
       w.u64(next_exec_);
+      w.u64(0);  // no range cap: validated against the vouched checkpoint
       transport_.send(node, net::MsgType::kPbftStateFetch, w.data());
       return;  // one fetch at a time; retried on the next checkpoint signal
     }
@@ -409,13 +470,21 @@ void PbftSmr::request_state_transfer() {
 void PbftSmr::handle_state_fetch(const net::Message& msg) {
   if (faulty_now()) return;
   ByteReader r(msg.payload);
+  if (r.u64() != instance_tag_) return;  // a different (older/newer) instance
   std::uint64_t from_seq = r.u64();
+  std::uint64_t upto = r.u64();  // exclusive end of the decided prefix; 0 = all
   if (from_seq >= exec_history_.size()) return;
+  std::uint64_t end = exec_history_.size();
+  // history[i] holds seq i+1, so serving indices [from_seq, upto) hands the
+  // fetcher seqs from_seq+1 .. upto inclusive — the range it pinned.
+  if (upto != 0) end = std::min<std::uint64_t>(end, upto);
+  if (from_seq >= end) return;  // have not executed the requested range yet
 
   ByteWriter w;
+  w.u64(instance_tag_);
   w.u64(from_seq);
-  w.varint(exec_history_.size() - from_seq);
-  for (std::size_t i = static_cast<std::size_t>(from_seq); i < exec_history_.size(); ++i) {
+  w.varint(end - from_seq);
+  for (std::size_t i = static_cast<std::size_t>(from_seq); i < static_cast<std::size_t>(end); ++i) {
     w.u64(exec_history_[i].origin);
     w.u64(exec_history_[i].origin_seq);
     w.bytes(exec_history_[i].op.data(), exec_history_[i].op.size());
@@ -425,6 +494,7 @@ void PbftSmr::handle_state_fetch(const net::Message& msg) {
 
 void PbftSmr::handle_state_reply(const net::Message& msg) {
   ByteReader r(msg.payload);
+  if (r.u64() != instance_tag_) return;  // a different instance's history
   std::uint64_t from_seq = r.u64();
   if (from_seq != next_exec_) return;  // stale reply
   std::uint64_t count = r.varint();
@@ -459,9 +529,27 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
     }
     if (matching >= max_faults() + 1) best_validated = std::max(best_validated, seq);
   }
-  if (best_validated == 0) return;  // cannot validate anything: discard
+  if (best_validated == 0) {
+    // No covering checkpoint — the small-head-gap case (a replica that
+    // attached mid-instance; see maybe_fetch_missing_head). Accept the
+    // history once f+1 distinct replicas sent byte-identical replies: at
+    // least one of them is correct, and correct replicas only serve history
+    // they executed.
+    crypto::Digest reply_digest = msg.payload.digest();
+    std::set<NodeId>& voters = state_reply_votes_[reply_digest];
+    voters.insert(msg.from);
+    if (voters.size() < max_faults() + 1) return;
+    state_reply_votes_.clear();
+    adopt_history(candidate, candidate.size());
+    return;
+  }
 
-  for (std::uint64_t seq = next_exec_ + 1; seq <= best_validated; ++seq) {
+  adopt_history(candidate, best_validated);
+  collect_garbage(best_validated);
+}
+
+void PbftSmr::adopt_history(const std::vector<ExecRecord>& candidate, std::uint64_t upto) {
+  for (std::uint64_t seq = next_exec_ + 1; seq <= upto; ++seq) {
     const ExecRecord& rec = candidate[static_cast<std::size_t>(seq - 1)];
     exec_history_.push_back(rec);
     if (rec.origin != kNullOrigin) {
@@ -471,9 +559,12 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
       if (decide_) decide_(seq - 1, rec.origin, rec.op);  // shares the reply frame
     }
     next_exec_ = seq;
+    log_.erase(seq);  // an unexecutable duplicate must not shadow the record
   }
-  collect_garbage(best_validated);
+  head_fetch_rounds_ = 0;  // progress: future gaps get fresh fetch rounds
   next_seq_ = std::max(next_seq_, next_exec_ + 1);
+  // Entries logged beyond the adopted gap may be executable now.
+  try_execute();
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -78,6 +79,12 @@ class PbftSmr final : public SmrEngine {
   const GroupConfig& config() const override { return config_; }
   std::uint64_t decided_count() const override { return next_exec_; }
   void stop() override;
+
+  // Runtime fault conversion (scenario Byzantine-storm primitive): fault_
+  // is consulted per message/phase, so flipping it on a live replica takes
+  // effect from the next protocol action.
+  void set_fault(PbftFaultMode fault) { fault_ = fault; }
+  PbftFaultMode fault() const { return fault_; }
 
   std::size_t max_faults() const { return async_max_faults(config_.size()); }
   std::size_t quorum() const { return 2 * max_faults() + 1; }
@@ -191,6 +198,31 @@ class PbftSmr final : public SmrEngine {
     net::Payload op;  // shares the decided frame (state-transfer source)
   };
   std::vector<ExecRecord> exec_history_;  // one per executed seq
+
+  // Head-gap catch-up: a replica whose engine attached mid-instance (a
+  // state-synced joiner) or that was cut off (partition heal) may hold
+  // committed log entries beyond a head it never received; with too few
+  // decisions for a checkpoint, the checkpoint-driven transfer never
+  // triggers and the replica would stall at next_exec_ forever. The gap is
+  // detected in try_execute, history is fetched from 2f+1 peers, and a
+  // reply that no checkpoint can validate is accepted once f+1 distinct
+  // replicas sent byte-identical copies (at least one of them is correct).
+  void maybe_fetch_missing_head();
+  // Appends fetched history (decided seqs next_exec_+1..upto), firing
+  // decide_ for each op exactly like execution would.
+  void adopt_history(const std::vector<ExecRecord>& candidate, std::uint64_t upto);
+  // min()/4 (not min()): "now - last" must not overflow on the first check.
+  TimeMicros last_head_fetch_ = std::numeric_limits<TimeMicros>::min() / 4;
+  // Derived from the member list at construction; state fetch/reply are
+  // scoped to one engine instance by this tag (see the ctor comment).
+  std::uint64_t instance_tag_ = 0;
+  // Head-gap fetch rounds since the last execution progress; finite so a
+  // replica whose instance was retired under it stops probing (and so the
+  // residual same-membership tag collision has a bounded window).
+  static constexpr int kMaxHeadFetchRounds = 8;
+  int head_fetch_rounds_ = 0;
+  // reply digest -> distinct senders of byte-identical replies.
+  std::map<crypto::Digest, std::set<NodeId>> state_reply_votes_;
 
   // View change state.
   bool view_changing_ = false;

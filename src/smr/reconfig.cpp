@@ -35,6 +35,13 @@ void ReconfigurableSmr::stop() {
   }
 }
 
+void ReconfigurableSmr::set_fault(DsFaultMode ds, PbftFaultMode pbft) {
+  options_.ds_fault = ds;
+  options_.pbft_fault = pbft;
+  if (auto* e = dynamic_cast<DolevStrongSmr*>(engine_.get())) e->set_fault(ds);
+  if (auto* e = dynamic_cast<PbftSmr*>(engine_.get())) e->set_fault(pbft);
+}
+
 void ReconfigurableSmr::start_engine() {
   engine_ = make_engine(net::Transport(net_, self_), config_, keys_, options_);
   engine_->set_decide_handler([this](std::uint64_t, NodeId origin, const net::Payload& op) {

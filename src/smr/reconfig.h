@@ -54,6 +54,11 @@ class ReconfigurableSmr {
   void set_decide_handler(DecideFn fn) { decide_ = std::move(fn); }
   void set_config_handler(ConfigFn fn) { config_changed_ = std::move(fn); }
 
+  // Runtime fault conversion: applies to the live engine immediately and to
+  // every engine started for later epochs (scenario Byzantine primitives
+  // convert correct nodes mid-run).
+  void set_fault(DsFaultMode ds, PbftFaultMode pbft);
+
   const GroupConfig& config() const { return config_; }
   std::uint64_t epoch() const { return epoch_; }
   std::uint64_t decided_count() const { return global_seq_; }

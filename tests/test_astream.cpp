@@ -222,5 +222,45 @@ TEST_F(AStreamFixture, CopyOutThresholdUnpinsSmallChunks) {
   EXPECT_GT(owned, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Store windowing (ROADMAP open item: verified_ grew without bound)
+// ---------------------------------------------------------------------------
+
+TEST_F(AStreamFixture, StoreWindowBoundsStoresUnderUnboundedStream) {
+  StreamConfig cfg;
+  cfg.store_window = 8;
+  deploy(18, cfg);
+  join_all(0);
+  constexpr std::uint64_t kChunks = 120;
+  for (std::uint64_t i = 0; i < kChunks; ++i) {
+    nodes[0]->stream_chunk(Bytes(400, static_cast<std::uint8_t>(i)));
+    run_for(seconds(2));
+  }
+  run_for(seconds(60));
+  for (auto& [id, n] : nodes) {
+    // Everyone delivered the whole stream...
+    ASSERT_EQ(delivered[id].size(), kChunks) << "node " << id;
+    // ...but holds at most the trailing window of it (plus the handful a
+    // node may buffer ahead of its own floor), not all 120 chunks.
+    EXPECT_LE(n->store_size(), cfg.store_window + 4) << "node " << id;
+    EXPECT_LE(n->digest_count(), cfg.store_window + 4) << "node " << id;
+    EXPECT_GE(n->eviction_floor(), kChunks - cfg.store_window - 4) << "node " << id;
+  }
+}
+
+TEST_F(AStreamFixture, UnboundedStoreKeepsEverythingByDefault) {
+  deploy(18);
+  join_all(0);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    nodes[0]->stream_chunk(Bytes(400, static_cast<std::uint8_t>(i)));
+    run_for(seconds(2));
+  }
+  run_for(seconds(30));
+  for (auto& [id, n] : nodes) {
+    EXPECT_EQ(n->store_size(), 20u) << "node " << id;
+    EXPECT_EQ(n->eviction_floor(), 0u) << "node " << id;
+  }
+}
+
 }  // namespace
 }  // namespace atum::astream

@@ -365,6 +365,180 @@ TEST_F(NetFixture, StockConfigsValidate) {
 }
 
 // ---------------------------------------------------------------------------
+// Partitions and link faults (scenario-engine fault primitives)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetFixture, PartitionBlocksAcrossSidesOnly) {
+  auto net = make(cfg);
+  int got1 = 0, got2 = 0, got3 = 0;
+  net->attach(1, [&](const Message&) { ++got1; });
+  net->attach(2, [&](const Message&) { ++got2; });
+  net->attach(3, [&](const Message&) { ++got3; });
+  net->partition({{1}});  // 1 alone vs everyone else
+  EXPECT_TRUE(net->partitioned());
+  net->send(Message{1, 2, MsgType::kAppData, {}});  // across: blocked
+  net->send(Message{2, 1, MsgType::kAppData, {}});  // across: blocked
+  net->send(Message{2, 3, MsgType::kAppData, {}});  // same side: passes
+  sim.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 0);
+  EXPECT_EQ(got3, 1);
+  EXPECT_EQ(net->stats().messages_blocked, 2u);
+
+  net->heal_partition();
+  EXPECT_FALSE(net->partitioned());
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got2, 1);
+}
+
+TEST_F(NetFixture, PartitionCutsMessagesAlreadyInFlight) {
+  cfg.jitter_mean = 0;
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(2, [&](const Message&) { ++got; });
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  net->partition({{1}});  // starts while the message is in flight
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net->stats().messages_blocked, 1u);
+}
+
+TEST_F(NetFixture, MultiSidePartitionSeparatesAllComponents) {
+  auto net = make(cfg);
+  int got = 0;
+  for (NodeId n = 1; n <= 6; ++n) net->attach(n, [&](const Message&) { ++got; });
+  net->partition({{1, 2}, {3, 4}});  // sides: {1,2}, {3,4}, rest
+  net->send(Message{1, 2, MsgType::kAppData, {}});  // within side 1
+  net->send(Message{3, 4, MsgType::kAppData, {}});  // within side 2
+  net->send(Message{5, 6, MsgType::kAppData, {}});  // within rest
+  net->send(Message{1, 3, MsgType::kAppData, {}});  // across 1-2
+  net->send(Message{2, 5, MsgType::kAppData, {}});  // across 1-rest
+  net->send(Message{4, 6, MsgType::kAppData, {}});  // across 2-rest
+  sim.run();
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(net->stats().messages_blocked, 3u);
+}
+
+TEST_F(NetFixture, LinkFaultDropsProbabilistically) {
+  auto net = make(cfg);
+  int got12 = 0, got13 = 0;
+  net->attach(2, [&](const Message&) { ++got12; });
+  net->attach(3, [&](const Message&) { ++got13; });
+  net->set_link_fault(1, 2, LinkFault{1.0, 0});
+  for (int i = 0; i < 50; ++i) {
+    net->send(Message{1, 2, MsgType::kAppData, {}});
+    net->send(Message{1, 3, MsgType::kAppData, {}});
+  }
+  sim.run();
+  EXPECT_EQ(got12, 0);  // total loss on the degraded link
+  EXPECT_EQ(got13, 50);  // untouched link unaffected
+  EXPECT_EQ(net->stats().messages_dropped, 50u);
+  net->clear_link_fault(1, 2);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got12, 1);
+}
+
+TEST_F(NetFixture, NodeFaultDegradesEveryTouchingLink) {
+  auto net = make(cfg);
+  int got = 0;
+  net->attach(1, [&](const Message&) { ++got; });
+  net->attach(2, [&](const Message&) { ++got; });
+  net->attach(3, [&](const Message&) { ++got; });
+  net->set_node_fault(1, LinkFault{1.0, 0});
+  net->send(Message{1, 2, MsgType::kAppData, {}});  // outbound from 1
+  net->send(Message{3, 1, MsgType::kAppData, {}});  // inbound to 1
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net->stats().messages_dropped, 2u);
+  net->send(Message{2, 3, MsgType::kAppData, {}});  // link not touching 1
+  sim.run();
+  EXPECT_EQ(got, 1);
+  net->clear_node_fault(1);
+  net->send(Message{1, 2, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetFixture, FaultLatencyDelaysDeliveryWithoutOccupyingIngress) {
+  cfg.jitter_mean = 0;
+  auto net = make(cfg);
+  const DurationMicros extra = seconds(30.0);
+  TimeMicros slow_at = -1, fast_at = -1;
+  net->attach(2, [&](const Message& m) {
+    (m.from == 1 ? slow_at : fast_at) = sim.now();
+  });
+  net->set_link_fault(1, 2, LinkFault{0.0, extra});
+  net->send(Message{1, 2, MsgType::kAppData, {}});  // delayed 30 s
+  net->send(Message{3, 2, MsgType::kAppData, {}});  // must NOT queue behind it
+  sim.run();
+  EXPECT_GE(slow_at, extra);
+  EXPECT_LT(fast_at, seconds(1.0));
+  // Injected latency is propagation, not serialization: once the fault is
+  // cleared and time passes, the flow entries are sweepable (no horizon 30 s
+  // in the future).
+  net->clear_link_faults();
+  EXPECT_EQ(net->flow_count(), 0u);
+}
+
+TEST_F(NetFixture, HealedPartitionLeavesNoDeadFlowEntriesUnderChurn) {
+  cfg.jitter_mean = 0;
+  auto net = make(cfg);
+  std::uint64_t got = 0;
+  constexpr NodeId kNodes = 64;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    net->attach(n, [&](const Message&) { ++got; });
+  }
+  // Build up flow entries on every node.
+  for (NodeId n = 1; n < kNodes; ++n) net->send(Message{n, 0, MsgType::kAppData, Bytes(256, 1)});
+  sim.run();
+  EXPECT_GT(net->flow_count(), 0u);
+
+  // Partition half away; traffic continues on one side only, and churn
+  // detaches some partitioned-away nodes entirely while they are cut off.
+  std::vector<std::vector<NodeId>> sides(1);
+  for (NodeId n = kNodes / 2; n < kNodes; ++n) sides[0].push_back(n);
+  net->partition(sides);
+  for (int round = 0; round < 4; ++round) {
+    for (NodeId n = 1; n < kNodes / 2; ++n) {
+      net->send(Message{n, 0, MsgType::kAppData, Bytes(256, 1)});
+    }
+    for (NodeId n = kNodes / 2; n < kNodes; ++n) {
+      net->send(Message{n, 0, MsgType::kAppData, {}});  // all blocked
+    }
+    sim.run();
+  }
+  for (NodeId n = kNodes - 8; n < kNodes; ++n) net->detach(n);  // churned away
+
+  // Heal. The partition stalled the send-driven amortized sweep for the
+  // blocked side; heal_partition() performs an exact sweep so no dead
+  // serialization entries survive it (everything idle by now).
+  net->heal_partition();
+  EXPECT_EQ(net->flow_count(), 0u);
+
+  // Live traffic immediately after the heal works and re-creates entries.
+  std::uint64_t before = got;
+  net->send(Message{kNodes - 1, 0, MsgType::kAppData, {}});
+  sim.run();
+  EXPECT_EQ(got, before + 1);  // formerly partitioned side can reach 0 again
+  EXPECT_LE(net->flow_count(), 2u);
+}
+
+TEST_F(NetFixture, SweepFlowsIsExactAndReportsEvictions) {
+  cfg.jitter_mean = 0;
+  auto net = make(cfg);
+  net->attach(1, [](const Message&) {});
+  for (NodeId n = 2; n < 34; ++n) net->send(Message{n, 1, MsgType::kAppData, {}});
+  sim.run();  // all horizons in the past now
+  EXPECT_GT(net->flow_count(), 0u);
+  std::size_t evicted = net->sweep_flows();
+  EXPECT_GT(evicted, 0u);
+  EXPECT_EQ(net->flow_count(), 0u);
+  EXPECT_EQ(net->sweep_flows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Flow-table eviction (regression: one Flow per node ever seen, forever)
 // ---------------------------------------------------------------------------
 

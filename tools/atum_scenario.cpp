@@ -1,0 +1,114 @@
+// atum_scenario: CLI runner for the scenario engine (src/scenario/).
+//
+//   atum_scenario --list
+//   atum_scenario <preset> [--nodes N] [--seed S] [--out FILE] [--assert]
+//
+// Runs a built-in preset against a real node-level AtumSystem and emits the
+// deterministic JSON metrics report (stdout, or FILE with --out). With
+// --assert, the preset's built-in expectations are evaluated and violations
+// exit non-zero — CI smokes presets exactly this way. Same preset + same
+// seed => byte-identical report.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/driver.h"
+#include "scenario/presets.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list\n"
+               "       %s <preset> [--nodes N] [--seed S] [--out FILE] [--assert]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atum;
+
+  if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "--list") == 0) {
+    std::printf("%-26s %-8s %s\n", "preset", "nodes", "summary");
+    for (const auto& p : scenario::preset_list()) {
+      std::printf("%-26s %-8zu %s\n", p.name.c_str(), p.default_nodes, p.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::string preset = argv[1];
+  std::size_t nodes = 0;
+  std::uint64_t seed = 0;
+  std::string out_path;
+  bool check = false;
+  for (int i = 2; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = static_cast<std::size_t>(std::strtoull(value("--nodes"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = value("--out");
+    } else if (std::strcmp(argv[i], "--assert") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  scenario::ScenarioSpec spec;
+  try {
+    spec = scenario::make_preset(preset, nodes, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\nrun %s --list for the catalogue\n", e.what(), argv[0]);
+    return 2;
+  }
+
+  std::fprintf(stderr, "scenario %s: %zu nodes, seed %llu, %zu phases\n", spec.name.c_str(),
+               spec.nodes, static_cast<unsigned long long>(spec.seed), spec.phases.size());
+  scenario::ScenarioDriver driver(std::move(spec));
+  scenario::ScenarioReport report = driver.run();
+  std::string json = report.to_json();
+
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "report written to %s\n", out_path.c_str());
+  }
+
+  for (const auto& p : report.phases) {
+    std::fprintf(stderr,
+                 "phase %-12s delivery %6.4f (%llu/%llu) joins %llu/%llu p50 %.1fms\n",
+                 p.name.c_str(), p.delivery_ratio(),
+                 static_cast<unsigned long long>(p.deliveries),
+                 static_cast<unsigned long long>(p.deliveries_expected),
+                 static_cast<unsigned long long>(p.joins_completed),
+                 static_cast<unsigned long long>(p.joins_requested), p.latency_ms_p50);
+  }
+
+  if (check) {
+    auto violations = scenario::ScenarioDriver::check(driver.spec(), report);
+    for (const std::string& v : violations) std::fprintf(stderr, "ASSERT FAILED: %s\n", v.c_str());
+    if (!violations.empty()) return 1;
+    std::fprintf(stderr, "all expectations hold\n");
+  }
+  return 0;
+}
