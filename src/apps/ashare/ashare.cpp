@@ -138,6 +138,20 @@ void AShareNode::on_deliver(NodeId origin, const net::Payload& payload) {
         meta.chunk_size = r.u64();
         std::uint64_t n = r.varint();
         if (n > (1u << 20)) return;
+        // Reject internally inconsistent metadata from a faulty owner: the
+        // digest count must be exactly ceil(size / chunk_size). Without
+        // this, a PUT advertising size = 2^60 over two tiny chunks makes a
+        // later GET reserve 2^60 bytes on completion (bad_alloc kills the
+        // node), and chunk_size = 0 divides by zero in chunk planning.
+        if (meta.chunk_size == 0) return;
+        // Overflow-proof ceil: size/cs + (size%cs != 0). The additive form
+        // (size + cs - 1) wraps for adversarial 2^63-scale values. An empty
+        // file is legitimately one empty chunk (see put()).
+        const std::uint64_t expected_chunks =
+            meta.size == 0 ? 1
+                           : meta.size / meta.chunk_size +
+                                 static_cast<std::uint64_t>(meta.size % meta.chunk_size != 0);
+        if (n != expected_chunks) return;
         for (std::uint64_t i = 0; i < n; ++i) {
           crypto::Digest d;
           r.raw(d.data(), d.size());
@@ -317,9 +331,14 @@ void AShareNode::finish_transfer(std::uint64_t tid) {
   transfers_.erase(it);
 
   // Reassembly is the only copy a GET makes: each piece is still a slice
-  // of its arrival frame until this loop materializes the file.
+  // of its arrival frame until this loop materializes the file. Reserve
+  // what was actually received, not meta.size: the advertised size is
+  // owner-controlled and a faulty owner can make it astronomically larger
+  // than the bytes it serves.
+  std::size_t received = 0;
+  for (const auto& p : t.pieces) received += p->size();
   Bytes content;
-  content.reserve(t.meta.size);
+  content.reserve(received);
   for (const auto& p : t.pieces) {
     content.insert(content.end(), p->begin(), p->end());
   }

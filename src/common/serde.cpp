@@ -115,7 +115,11 @@ std::span<const std::uint8_t> ByteReader::bytes_view() {
 std::string ByteReader::str() {
   std::uint64_t n = varint();
   need(static_cast<std::size_t>(n));
-  std::string out(reinterpret_cast<const char*>(p_), static_cast<std::size_t>(n));
+  // memcpy instead of a reinterpret_cast<const char*> constructor call:
+  // byte-to-char conversion without a pointer-type pun (see the atum_lint
+  // reinterpret-cast rule).
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::memcpy(out.data(), p_, static_cast<std::size_t>(n));
   p_ += n;
   return out;
 }

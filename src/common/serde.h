@@ -66,6 +66,13 @@ class ByteReader {
       { b.size() } -> std::convertible_to<std::size_t>;
     }
   explicit ByteReader(const B& buf) : p_(buf.data()), end_(buf.data() + buf.size()) {}
+  // A reader does not own its buffer, so constructing one from a temporary
+  // (`ByteReader(payload.slice(...))`, `ByteReader(w.take())`) leaves p_
+  // dangling the moment the statement ends. That exact bug shipped once in
+  // pbft's NEW-VIEW parser; reject the whole class at compile time.
+  explicit ByteReader(Bytes&&) = delete;
+  template <typename B>
+  explicit ByteReader(const B&&) = delete;
 
   std::uint8_t u8();
   std::uint16_t u16();

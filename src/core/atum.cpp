@@ -48,6 +48,7 @@ AtumSystem::AtumSystem(Params params, net::NetworkConfig net_config, std::uint64
 }
 
 AtumSystem::~AtumSystem() {
+  // lint: unordered-iter-ok(teardown; stop() order is unobservable)
   for (auto& [id, node] : nodes_) node->stop();
 }
 
@@ -75,6 +76,7 @@ void AtumSystem::remove_node(NodeId id) {
 std::vector<NodeId> AtumSystem::node_ids() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
+  // lint: unordered-iter-ok(output is sorted below)
   for (const auto& [id, _] : nodes_) out.push_back(id);
   std::sort(out.begin(), out.end());
   return out;
@@ -135,6 +137,7 @@ void AtumSystem::deploy(const std::vector<NodeId>& ids) {
 
 std::map<GroupId, std::vector<NodeId>> AtumSystem::group_map() const {
   std::map<GroupId, std::vector<NodeId>> out;
+  // lint: unordered-iter-ok(keys land in a sorted map, members sorted below)
   for (const auto& [id, node] : nodes_) {
     if (node->joined()) out[node->group_id()].push_back(id);
   }

@@ -1,5 +1,6 @@
 #include "crypto/sha256.h"
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,12 +21,14 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
-// The simulator is single-threaded; a plain counter is exact.
-std::uint64_t g_digest_count = 0;
+// Relaxed is enough: the counter is a monotonic instrumentation gauge read
+// between phases, never used to order memory — and it keeps finish() exact
+// (and TSan-clean) when digests are computed from worker threads.
+std::atomic<std::uint64_t> g_digest_count{0};
 
 }  // namespace
 
-std::uint64_t sha256_digest_count() { return g_digest_count; }
+std::uint64_t sha256_digest_count() { return g_digest_count.load(std::memory_order_relaxed); }
 
 Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -103,7 +106,7 @@ void Sha256::update(const std::uint8_t* data, std::size_t len) {
 Digest Sha256::finish() {
   if (finished_) throw std::logic_error("Sha256: finish called twice");
   finished_ = true;
-  ++g_digest_count;
+  g_digest_count.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t bit_len = total_bytes_ * 8;
 
   std::uint8_t pad[72];

@@ -27,6 +27,9 @@ class Sha256 {
   void update(const std::uint8_t* data, std::size_t len);
   void update(const Bytes& data) { update(data.data(), data.size()); }
   void update(std::string_view s) {
+    // Audited: char -> unsigned char pointer for a read-only pass; both are
+    // byte types, explicitly exempt from strict aliasing ([basic.lval]/11).
+    // lint: reinterpret-cast-ok(char->uint8_t read, aliasing-exempt byte types)
     update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
   // Finalizes and returns the digest. The object must not be reused after.

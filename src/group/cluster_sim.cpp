@@ -488,6 +488,7 @@ bool ClusterSim::check_invariants(std::string* why) const {
     }
   }
   std::size_t counted = 0;
+  // lint: unordered-iter-ok(pure counting/containment check, order-free)
   for (const auto& [n, g] : node_group_) {
     const Group* grp = find(g);
     if (grp == nullptr || !grp->members.contains(n)) return fail("node map points nowhere");

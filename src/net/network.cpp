@@ -190,6 +190,7 @@ LinkFault SimNetwork::fault_between(NodeId from, NodeId to) const {
 
 std::size_t SimNetwork::sweep_flows() {
   const TimeMicros now = sim_.now();
+  // lint: unordered-iter-ok(erase predicate is per-entry, order-free)
   std::size_t evicted = std::erase_if(flows_, [now](const auto& kv) {
     return kv.second.egress_free <= now && kv.second.ingress_free <= now;
   });

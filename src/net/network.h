@@ -59,6 +59,12 @@ struct NetworkStats {
   std::uint64_t bytes_sent = 0;
 };
 
+// Registered once per node/type at bind time, invoked per delivery. The
+// per-message cost is one indirect call with no allocation — the hot-path
+// allocation problem std::function caused lived in the per-EVENT closures,
+// which sim::EventFn replaced. If a profile ever shows this dispatch, the
+// EventFn treatment applies here too.
+// lint: std-function-ok(bind-time registration; invoke is alloc-free)
 using MessageHandler = std::function<void(const Message&)>;
 
 // Injected link degradation (scenario fault primitives): `drop` is an extra

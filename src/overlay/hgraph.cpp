@@ -1,5 +1,6 @@
 #include "overlay/hgraph.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace atum::overlay {
@@ -14,7 +15,13 @@ bool HGraph::contains(GroupId g) const { return cycles_[0].next.contains(g); }
 std::vector<GroupId> HGraph::vertices() const {
   std::vector<GroupId> out;
   out.reserve(size());
+  // Sorted: callers index this vector with RNG draws (insert_random anchor
+  // picks, ClusterSim's random group choices), so hash-table iteration
+  // order would leak libstdc++'s bucket layout into protocol decisions —
+  // deterministic on one stdlib, divergent across them.
+  // lint: unordered-iter-ok(output is sorted below)
   for (const auto& [g, _] : cycles_[0].next) out.push_back(g);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -115,7 +122,9 @@ bool HGraph::validate() const {
   for (const Ring& ring : cycles_) {
     if (ring.size() != n || ring.prev.size() != n) return false;
     if (n == 0) continue;
-    // Walk the ring: must return to start after exactly n hops.
+    // Walk the ring: must return to start after exactly n hops. Any entry
+    // works as the start of a full-cycle walk, so hash order is harmless.
+    // lint: unordered-iter-ok(arbitrary start of a full-cycle validity walk)
     GroupId start = ring.next.begin()->first;
     GroupId cur = start;
     for (std::size_t i = 0; i < n; ++i) {

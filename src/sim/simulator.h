@@ -64,6 +64,7 @@ class EventFn {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = inline_ops<Fn>();
     } else {
+      // lint: naked-new-ok(SBO heap fallback; owned via ops_->destroy)
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = heap_ops<Fn>();
     }

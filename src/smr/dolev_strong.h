@@ -25,7 +25,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/keys.h"

@@ -498,6 +498,11 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
   std::uint64_t from_seq = r.u64();
   if (from_seq != next_exec_) return;  // stale reply
   std::uint64_t count = r.varint();
+  // Bound the claimed count by the bytes actually present (each record is
+  // at least 17 bytes) BEFORE reserving: a Byzantine reply declaring 2^60
+  // entries must be dropped as malformed, not turned into a length_error/
+  // bad_alloc that escapes the SerdeError net below and kills the replica.
+  if (count > r.remaining()) throw SerdeError("state reply count exceeds buffer");
   std::vector<ExecRecord> entries;
   entries.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {

@@ -43,7 +43,6 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/keys.h"

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "apps/ashare/ashare.h"
+#include "common/serde.h"
 
 namespace atum::ashare {
 namespace {
@@ -313,6 +314,58 @@ TEST_F(AShareFixture, TransferPiecesAliasReplyFramesAndHashOncePerChunk) {
   // serving holder hashes nothing. Background traffic is quiet (auto-
   // replication off, heartbeats unhashed), so the count is exact.
   EXPECT_EQ(crypto::sha256_digest_count() - base, kChunks);
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine metadata (regression: the sanitizer sweep found that a PUT with
+// owner-controlled size/chunk_size was accepted unvalidated — size = 2^60
+// over two tiny chunks made a later GET reserve 2^60 bytes on completion,
+// and chunk_size = 0 divided by zero in chunk planning)
+// ---------------------------------------------------------------------------
+
+Bytes put_wire(NodeId owner, const std::string& name, std::uint64_t size,
+               std::uint64_t chunk_size, std::uint64_t digests) {
+  ByteWriter w;
+  w.u8(1);  // kMsgPut
+  w.u64(owner);
+  w.str(name);
+  w.u64(size);
+  w.u64(chunk_size);
+  w.varint(digests);
+  for (std::uint64_t i = 0; i < digests; ++i) {
+    crypto::Digest d = crypto::sha256(blob(i + 1));
+    w.raw(d.data(), d.size());
+  }
+  return w.take();
+}
+
+TEST_F(AShareFixture, ByzantinePutInconsistentMetadataRejected) {
+  deploy(4);
+  // Keep the feedback loop out of the picture: the forged files have no
+  // real content anywhere, so replication GETs would only add noise.
+  for (auto& [id, node] : nodes) node->set_auto_replication(false);
+
+  // Node 3 is the Byzantine owner, injecting hand-rolled PUT frames through
+  // the real middleware broadcast path (the key's owner must match the
+  // origin, so the forgeries come from node 3 itself).
+  // Advertised size wildly exceeds what two chunks of 100 bytes can hold.
+  nodes[3]->atum().broadcast(put_wire(3, "evil.bin", std::uint64_t{1} << 60, 100, 2));
+  // chunk_size = 0 would divide by zero in chunk planning.
+  nodes[3]->atum().broadcast(put_wire(3, "zero.bin", 100, 0, 2));
+  // Overflow probe: size + chunk_size - 1 wraps past 2^64, so an additive
+  // ceil check would compute 0 expected chunks and accept a 2^63-byte file
+  // with no digests at all.
+  nodes[3]->atum().broadcast(
+      put_wire(3, "wrap.bin", (std::uint64_t{1} << 63) + 2, std::uint64_t{1} << 63, 0));
+  // Sanity: a consistent PUT through the same path is still accepted.
+  nodes[3]->atum().broadcast(put_wire(3, "ok.bin", 150, 100, 2));
+  run_for(seconds(30));
+
+  EXPECT_FALSE(nodes[1]->index().lookup(FileKey{3, "evil.bin"}).has_value());
+  EXPECT_FALSE(nodes[1]->index().lookup(FileKey{3, "zero.bin"}).has_value());
+  EXPECT_FALSE(nodes[1]->index().lookup(FileKey{3, "wrap.bin"}).has_value());
+  ASSERT_TRUE(nodes[1]->index().lookup(FileKey{3, "ok.bin"}).has_value());
+  EXPECT_EQ(nodes[1]->index().lookup(FileKey{3, "ok.bin"})->chunk_count(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Multithreaded stress tests for the concurrency primitives the parallel
+// simulator and the real-socket transport will lean on: net::Payload's
+// refcounted buffer sharing and the per-frame SHA-256 digest memo.
+//
+// The simulator itself is still single-threaded; these tests exist so the
+// TSan CI job (ATUM_SANITIZE=thread) gates the primitives NOW — the
+// sharded-simulator PR inherits a working race detector instead of
+// bootstrapping one. They also run in the plain build, where they double
+// as functional checks of cross-thread value consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/serde.h"
+#include "crypto/sha256.h"
+#include "net/message.h"
+
+namespace atum::net {
+namespace {
+
+Bytes pattern_bytes(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return b;
+}
+
+// N threads copy, slice, and drop Payloads that all share one frame. The
+// control block's refcount must stay exact under contention: the frame is
+// freed exactly once and never while a slice is alive (ASan would flag a
+// use-after-free; TSan a racy refcount).
+TEST(ConcurrencyStress, PayloadRefcountSharedAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  const Bytes frame = pattern_bytes(1024);
+  Payload root{frame};
+
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> checks{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&root, &checks, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Payload copy = root;  // refcount ++ / -- across threads
+        std::span<const std::uint8_t> view(copy.data() + (t % 7), 64 + (i % 128));
+        Payload slice = copy.slice(view);
+        // The slice keeps the frame alive even after the copy dies.
+        copy = Payload{};
+        if (slice.size() >= 1 && slice.data()[0] == view[0]) {
+          checks.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(checks.load(), static_cast<std::uint64_t>(kThreads) * kIters);
+  // All worker-held references are gone; only root remains.
+  EXPECT_EQ(root.use_count(), 1);
+  EXPECT_EQ(root, frame);
+}
+
+// N threads request the digest of the SAME range concurrently. The memo on
+// the shared control block must be race-free and every thread must observe
+// the one true digest (a torn memo write would surface as a mismatch, and
+// TSan as a data race).
+TEST(ConcurrencyStress, DigestMemoSameRangeAllThreadsAgree) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  Payload frame{pattern_bytes(4096)};
+  const crypto::Digest expected = crypto::sha256(frame.data(), frame.size());
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&frame, &expected, &mismatches] {
+      for (int i = 0; i < kIters; ++i) {
+        if (frame.digest() != expected) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Adversarial memo churn: threads alternate between TWO distinct ranges of
+// one frame, so the single-entry memo is continuously re-keyed from
+// multiple threads. Every returned digest must still be the correct digest
+// FOR THE RANGE ASKED — a stale or torn (offset, size, digest) triple
+// would return range A's hash for range B.
+TEST(ConcurrencyStress, DigestMemoRekeyingNeverServesWrongRange) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  Payload frame{pattern_bytes(4096)};
+  Payload lo = frame.slice({frame.data(), 1000});
+  Payload hi = frame.slice({frame.data() + 2000, 1500});
+  const crypto::Digest lo_expected = crypto::sha256(lo.data(), lo.size());
+  const crypto::Digest hi_expected = crypto::sha256(hi.data(), hi.size());
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const bool want_lo = (i + t) % 2 == 0;
+        const Payload& p = want_lo ? lo : hi;
+        const crypto::Digest& expected = want_lo ? lo_expected : hi_expected;
+        if (p.digest() != expected) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The sha256_digest_count() instrumentation gauge must stay exact when
+// digests are computed from worker threads (the scenario reports diff it
+// across phases; a racy counter would both trip TSan and drift).
+TEST(ConcurrencyStress, DigestCountExactUnderConcurrentHashing) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 250;
+  const std::uint64_t before = crypto::sha256_digest_count();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        Bytes b(64, static_cast<std::uint8_t>(t * 17 + i));
+        (void)crypto::sha256(b);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(crypto::sha256_digest_count() - before,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace atum::net

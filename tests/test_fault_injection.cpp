@@ -137,7 +137,9 @@ TEST(LossyDolevStrong, SafetyUnderLoss) {
     for (NodeId b = a + 1; b < 5; ++b) {
       for (const auto& [oa, va] : decided[a]) {
         for (const auto& [ob, vb] : decided[b]) {
-          if (oa == ob) EXPECT_EQ(va, vb) << "value fork for origin " << oa;
+          if (oa == ob) {
+            EXPECT_EQ(va, vb) << "value fork for origin " << oa;
+          }
         }
       }
     }

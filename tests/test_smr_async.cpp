@@ -6,7 +6,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/serde.h"
 #include "crypto/keys.h"
+#include "crypto/sha256.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "smr/pbft.h"
@@ -137,7 +139,9 @@ TEST(Pbft, EquivocatingPrimaryCannotForkCorrectReplicas) {
   // and no correct replica delivered a corrupted copy of the victim op.
   for (NodeId n = 2; n < 4; ++n) EXPECT_EQ(g.decided[n], g.decided[1]);
   for (const auto& [origin, op] : g.decided[1]) {
-    if (origin == 1) EXPECT_EQ(op, op_bytes("victim"));
+    if (origin == 1) {
+      EXPECT_EQ(op, op_bytes("victim"));
+    }
   }
 }
 
@@ -337,6 +341,37 @@ TEST(Pbft, ProposerDecidesItsOwnFrozenBuffer) {
   ASSERT_EQ(decided_ops.size(), 1u);
   EXPECT_EQ(decided_ops[0].frame_size(), decided_ops[0].size());
   EXPECT_GT(decided_ops[0].use_count(), 1);  // shared with log/exec_history
+}
+
+// Regression (found by the sanitizer/tidy sweep): a Byzantine member's
+// STATE-REPLY declaring an astronomical entry count used to reach
+// entries.reserve(count) before any bounds check — std::length_error /
+// bad_alloc is not a SerdeError, so it escaped on_message's net and killed
+// the replica. The count must be validated against the bytes actually
+// present and the garbage dropped like any other malformed frame.
+TEST(Pbft, ByzantineStateReplyWithHugeCountIsDropped) {
+  AsyncGroup g(4);
+
+  // Replica 3 forges a state reply to replica 0 with the group's real
+  // instance tag (derived from the member list, same as the engine does)
+  // and a claimed count of 2^60 entries in a ~20-byte body.
+  ByteWriter tag_w;
+  tag_w.str("pbft-instance");
+  for (NodeId n : g.cfg.members) tag_w.u64(n);
+  std::uint64_t tag = crypto::digest_prefix64(crypto::sha256(tag_w.data()));
+
+  ByteWriter w;
+  w.u64(tag);
+  w.u64(0);  // from_seq == victim's next_exec_
+  w.varint(std::uint64_t{1} << 60);
+  g.net.send(net::Message{3, 0, net::MsgType::kPbftStateReply, net::Payload(w.take())});
+  g.run_for(seconds(1));
+
+  // The victim survived and the group still decides.
+  g.at(1).propose(op_bytes("alive"));
+  g.run_for(seconds(2));
+  ASSERT_EQ(g.decided[0].size(), 1u);
+  EXPECT_EQ(g.decided[0][0].second, op_bytes("alive"));
 }
 
 }  // namespace
