@@ -155,6 +155,7 @@ AtumNode::AtumNode(AtumSystem& system, NodeId id, NodeBehavior behavior)
       behavior_(behavior),
       transport_(system.network(), id),
       rng_(system.rng().next_u64() ^ id),
+      coalescer_(transport_, rng_),
       gossip_(overlay::forward_flood()) {
   transport_.listen({net::MsgType::kJoinRequest, net::MsgType::kJoinReply,
                      net::MsgType::kHeartbeat},
@@ -164,6 +165,7 @@ AtumNode::AtumNode(AtumSystem& system, NodeId id, NodeBehavior behavior)
 AtumNode::~AtumNode() { stop(); }
 
 void AtumNode::stop() {
+  coalescer_.discard();
   heartbeat_timer_.reset();
   if (smr_) smr_->stop();
   smr_.reset();
@@ -420,7 +422,7 @@ std::optional<overlay::PreparedGroupMessage> AtumNode::prepare_group_payload(
 
 void AtumNode::send_group_payload(const group::GroupView& dest, const net::Payload& payload) {
   auto msg = prepare_group_payload(payload);
-  if (msg) msg->send_to(transport_, dest.members, rng_);
+  if (msg) msg->send_to(coalescer_, dest.members);
 }
 
 void AtumNode::send_neighbor_updates() {
@@ -433,7 +435,7 @@ void AtumNode::send_neighbor_updates() {
   if (!msg) return;
   for (const group::GroupView& g : vg_.known_groups()) {
     if (g.id == vg_.id()) continue;
-    msg->send_to(transport_, g.members, rng_);
+    msg->send_to(coalescer_, g.members);
   }
 }
 
@@ -489,9 +491,12 @@ void AtumNode::relay_gossip(const BroadcastId& id, const net::Payload& payload,
   // member within it shares the same frozen buffer.
   auto msg = prepare_group_payload(frame);
   if (!msg) return;
+  // Overlapping neighbor member sets (several neighbor groups can contain
+  // the same physical node) and multiple broadcasts decided in one tick
+  // all coalesce per destination here.
   for (const overlay::NeighborRef& ref : relays) {
     auto view = vg_.find_group(ref.group);
-    if (view) msg->send_to(transport_, view->members, rng_);
+    if (view) msg->send_to(coalescer_, view->members);
   }
 }
 

@@ -160,6 +160,9 @@ class AtumNode {
   const group::VGroupState& vgroup() const { return vg_; }
   std::uint64_t delivered_count() const { return delivered_; }
   std::uint64_t smr_epoch() const { return smr_ ? smr_->epoch() : 0; }
+  // Send-coalescing stats (benchmarks: how many per-message fixed costs
+  // the envelope path saved at this node).
+  const overlay::SendCoalescer& coalescer() const { return coalescer_; }
 
   // Used by AtumSystem::deploy and by a vgroup admitting this node.
   void start_with_state(group::VGroupState state);
@@ -205,6 +208,9 @@ class AtumNode {
   NodeBehavior behavior_;
   net::Transport transport_;
   Rng rng_;
+  // All group-message fan-outs route through here: frames bound for the
+  // same physical destination within one tick leave as one envelope.
+  overlay::SendCoalescer coalescer_;
 
   group::VGroupState vg_;
   std::unique_ptr<smr::ReconfigurableSmr> smr_;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@ enum class MsgType : std::uint16_t {
   // Overlay layer
   kGroupMsgFull = 0x0300,     // full copy of a group message
   kGroupMsgDigest = 0x0301,   // digest-only copy (§5.1 optimization)
+  kGroupMsgEnvelope = 0x0302, // several full/digest frames coalesced per tick
   // Group / core layer
   kHeartbeat = 0x0400,
   kJoinRequest = 0x0401,
@@ -112,13 +114,22 @@ class Payload {
     return out;
   }
 
+  // How many (offset, size) ranges the per-frame digest memo retains. Four
+  // covers the protocols here with headroom: a batched SMR pre-prepare
+  // hashes the whole ops region plus per-op sub-ranges, and a coalesced
+  // gossip envelope carries several group-message bodies that each get
+  // vouch-hashed — without one range's digest evicting the next before its
+  // reuse (the PR-3 single-slot memo thrashed under exactly that pattern).
+  static constexpr std::size_t kDigestMemoSlots = 4;
+
   // SHA-256 of the viewed bytes, computed at most once per (frame, range)
   // and memoized on the shared control block: every Payload sharing this
   // buffer — across sends, slices, relays, even across nodes in the
-  // simulator — reuses the cached value. The memo holds one entry, which
-  // covers the protocols here: each frame has exactly one range whose
-  // digest anyone wants (the group-message body, the chunk body); a second
-  // distinct range simply recomputes and takes the slot over.
+  // simulator — reuses the cached value. The memo is a tiny fixed-size set
+  // of kDigestMemoSlots (offset, size, digest) entries with round-robin
+  // replacement: a frame hashed over more distinct ranges than that simply
+  // recomputes the oldest ones (linear scan of 4 entries is cheaper than
+  // any map for this cardinality).
   //
   // Thread safety: the memo is guarded by a per-frame mutex, so concurrent
   // digest() calls on Payloads sharing one buffer are race-free (the
@@ -129,13 +140,16 @@ class Payload {
   crypto::Digest digest() const {
     Frame& f = *data_;
     std::lock_guard<std::mutex> lock(f.digest_mu);
-    if (!f.digest_valid || f.digest_offset != offset_ || f.digest_size != size_) {
-      f.digest = crypto::sha256(data(), size_);
-      f.digest_offset = offset_;
-      f.digest_size = size_;
-      f.digest_valid = true;
+    for (const Frame::DigestMemo& m : f.memo) {
+      if (m.valid && m.offset == offset_ && m.size == size_) return m.digest;
     }
-    return f.digest;
+    Frame::DigestMemo& slot = f.memo[f.memo_next];
+    f.memo_next = (f.memo_next + 1) % kDigestMemoSlots;
+    slot.valid = true;
+    slot.offset = offset_;
+    slot.size = size_;
+    slot.digest = crypto::sha256(data(), size_);
+    return slot.digest;
   }
 
   // Deep copy, for the rare consumer that needs independent ownership
@@ -156,17 +170,21 @@ class Payload {
 
  private:
   // Control block: the frozen bytes plus the per-frame digest memo, which
-  // caches the digest of exactly one (offset, size) range. The memo fields
-  // are mutated through shared_ptr under digest_mu; the bytes are const and
-  // lock-free to read.
+  // caches the digests of up to kDigestMemoSlots (offset, size) ranges. The
+  // memo fields are mutated through shared_ptr under digest_mu; the bytes
+  // are const and lock-free to read.
   struct Frame {
     explicit Frame(Bytes b) : bytes(std::move(b)) {}
     const Bytes bytes;
     std::mutex digest_mu;
-    bool digest_valid = false;
-    std::size_t digest_offset = 0;
-    std::size_t digest_size = 0;
-    crypto::Digest digest{};
+    struct DigestMemo {
+      bool valid = false;
+      std::size_t offset = 0;
+      std::size_t size = 0;
+      crypto::Digest digest{};
+    };
+    std::array<DigestMemo, kDigestMemoSlots> memo{};
+    std::size_t memo_next = 0;  // round-robin replacement cursor
   };
 
   static const std::shared_ptr<Frame>& empty_buffer() {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "overlay/gossip.h"
+
 namespace atum::overlay {
 
 namespace {
@@ -50,6 +52,13 @@ void PreparedGroupMessage::send_to(net::Transport& transport,
   }
 }
 
+void PreparedGroupMessage::send_to(SendCoalescer& coalescer,
+                                   const std::vector<NodeId>& destination) const {
+  for (NodeId d : destination) {
+    coalescer.enqueue(d, type_, wire_);
+  }
+}
+
 void send_group_message(net::Transport& transport, const std::vector<NodeId>& senders,
                         GroupMessageId id, const std::vector<NodeId>& destination,
                         const net::Payload& payload, Rng& rng) {
@@ -58,7 +67,8 @@ void send_group_message(net::Transport& transport, const std::vector<NodeId>& se
 
 GroupMessageReceiver::GroupMessageReceiver(net::Transport transport, DeliverFn deliver)
     : transport_(std::move(transport)), deliver_(std::move(deliver)) {
-  transport_.listen({net::MsgType::kGroupMsgFull, net::MsgType::kGroupMsgDigest},
+  transport_.listen({net::MsgType::kGroupMsgFull, net::MsgType::kGroupMsgDigest,
+                     net::MsgType::kGroupMsgEnvelope},
                     [this](const net::Message& m) { on_message(m); });
 }
 
@@ -79,12 +89,43 @@ void GroupMessageReceiver::gc_tombstones() {
 void GroupMessageReceiver::on_message(const net::Message& msg) {
   gc_tombstones();
 
+  if (msg.type == net::MsgType::kGroupMsgEnvelope) {
+    // Coalesced envelope: decode it fully before processing any inner
+    // frame — a malformed tail means the sender is faulty and the whole
+    // envelope is suspect. Inner frames are zero-copy slices of the
+    // envelope payload; only full and digest frames may nest (envelopes
+    // do not recurse).
+    std::vector<std::pair<bool, net::Payload>> frames;
+    try {
+      ByteReader r(msg.payload);
+      std::uint64_t count = r.varint();
+      if (count == 0 || count > SendCoalescer::kMaxFramesPerEnvelope) return;
+      frames.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        auto inner = static_cast<net::MsgType>(r.u16());
+        if (inner != net::MsgType::kGroupMsgFull && inner != net::MsgType::kGroupMsgDigest) {
+          return;
+        }
+        frames.emplace_back(inner == net::MsgType::kGroupMsgFull,
+                            msg.payload.slice(r.bytes_view()));
+      }
+      r.expect_done();
+    } catch (const SerdeError&) {
+      return;  // malformed: faulty sender
+    }
+    for (const auto& [is_full, frame] : frames) on_frame(msg.from, is_full, frame);
+    return;
+  }
+
+  on_frame(msg.from, msg.type == net::MsgType::kGroupMsgFull, msg.payload);
+}
+
+void GroupMessageReceiver::on_frame(NodeId from, bool is_full, const net::Payload& wire) {
   GroupMessageId id;
   crypto::Digest digest;
   net::Payload payload;
-  bool is_full = msg.type == net::MsgType::kGroupMsgFull;
   try {
-    ByteReader r(msg.payload);
+    ByteReader r(wire);
     id.from_group = r.u64();
     id.seq = r.u64();
     if (is_full) {
@@ -92,7 +133,7 @@ void GroupMessageReceiver::on_message(const net::Message& msg) {
       // The vouch digest is memoized on that frame's control block, so a
       // frame fanned out to many receivers is hashed once system-wide and
       // a node relaying it onward reuses the digest too.
-      payload = msg.payload.slice(r.bytes_view());
+      payload = wire.slice(r.bytes_view());
       digest = payload.digest();
     } else {
       r.raw(digest.data(), digest.size());
@@ -102,7 +143,7 @@ void GroupMessageReceiver::on_message(const net::Message& msg) {
     return;  // malformed: faulty sender
   }
 
-  if (membership_ && !membership_(id.from_group, msg.from)) return;
+  if (membership_ && !membership_(id.from_group, from)) return;
 
   Pending& p = pending_[id];
   if (p.expires_at == 0) {
@@ -114,11 +155,11 @@ void GroupMessageReceiver::on_message(const net::Message& msg) {
   if (p.delivered) return;
 
   auto& vouchers = p.vouches[digest];
-  if (std::find(vouchers.begin(), vouchers.end(), msg.from) == vouchers.end()) {
-    vouchers.push_back(msg.from);
+  if (std::find(vouchers.begin(), vouchers.end(), from) == vouchers.end()) {
+    vouchers.push_back(from);
   }
   if (is_full && !p.payloads.contains(digest)) {
-    p.payloads[digest] = {std::move(payload), msg.from};
+    p.payloads[digest] = {std::move(payload), from};
   }
   try_deliver(id, p);
 }

@@ -54,6 +54,7 @@ void PbftSmr::stop() {
   if (stopped_) return;
   stopped_ = true;
   disarm_view_timer();
+  disarm_batch_timer();
   transport_.close();
 }
 
@@ -69,12 +70,42 @@ bool PbftSmr::faulty_now() const {
   return false;
 }
 
-crypto::Digest PbftSmr::request_digest(const Request& req) const {
+void PbftSmr::encode_ops_region(ByteWriter& w, const std::vector<Request>& batch) {
+  w.varint(batch.size());
+  for (const Request& req : batch) {
+    w.u64(req.id.origin);
+    w.u64(req.id.seq);
+    w.bytes(req.op.data(), req.op.size());
+  }
+}
+
+std::vector<PbftSmr::Request> PbftSmr::parse_ops_region(
+    const net::Payload& frame, std::span<const std::uint8_t> region) {
+  ByteReader r(region.data(), region.size());
+  std::uint64_t count = r.varint();
+  // Each op is at least 17 bytes; a Byzantine count far beyond the bytes
+  // present must fail as malformed before any reserve.
+  if (count > r.remaining()) throw SerdeError("ops region count exceeds buffer");
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Request req;
+    req.id.origin = r.u64();
+    req.id.seq = r.u64();
+    req.op = frame.slice(r.bytes_view());  // zero-copy: view of the frame
+    // The null origin is reserved for gap-filling empty batches; an op
+    // claiming it could never be matched against a client broadcast.
+    if (req.id.origin == kNullOrigin) throw SerdeError("op with null origin");
+    batch.push_back(std::move(req));
+  }
+  r.expect_done();
+  return batch;
+}
+
+crypto::Digest PbftSmr::batch_digest(const std::vector<Request>& batch) const {
+  if (batch.empty()) return crypto::Digest{};  // null batch: never hashed
   ByteWriter w;
-  w.str("pbft-req");
-  w.u64(req.id.origin);
-  w.u64(req.id.seq);
-  w.bytes(req.op.data(), req.op.size());
+  encode_ops_region(w, batch);
   return crypto::sha256(w.data());
 }
 
@@ -106,7 +137,7 @@ void PbftSmr::propose(Bytes op) {
 
   pending_[req.id] = req.op;
   if (is_primary() && !view_changing_) {
-    primary_assign(req);
+    enqueue_op(req);
   }
   arm_view_timer();
 }
@@ -123,10 +154,11 @@ void PbftSmr::handle_request(const net::Message& msg) {
 
   pending_[req.id] = req.op;
   if (is_primary() && !view_changing_) {
-    primary_assign(req);
+    enqueue_op(req);
   }
   // A pre-prepare may have overtaken this request; replay it now that the
-  // client's copy is available for cross-checking.
+  // client's copy is available for cross-checking. The replay may stash the
+  // same message again under the batch's NEXT still-missing request id.
   if (auto it = stashed_pre_prepares_.find(req.id); it != stashed_pre_prepares_.end()) {
     net::Message stashed = std::move(it->second);
     stashed_pre_prepares_.erase(it);
@@ -135,53 +167,114 @@ void PbftSmr::handle_request(const net::Message& msg) {
   arm_view_timer();  // backup: expect the primary to order it
 }
 
-void PbftSmr::primary_assign(const Request& req) {
-  if (assigned_or_executed_.contains(req.id)) return;
+// ---------------------------------------------------------------------------
+// Primary-side batching
+// ---------------------------------------------------------------------------
+
+void PbftSmr::enqueue_op(const Request& req) {
   if (fault_ == PbftFaultMode::kSilentPrimary) return;
-  std::uint64_t seq = next_seq_++;
-  if (!in_window(seq)) return;  // stalled on checkpointing; request stays pending
-
-  crypto::Digest d = request_digest(req);
-  assigned_or_executed_.insert(req.id);
-  // NOTE: the request stays in pending_ until EXECUTED — the view-change
-  // timer watches pending_, and an assigned-but-never-committed request
-  // must still be able to trigger a view change.
-
-  LogEntry& entry = log_[seq];
-  entry.view = view_;
-  entry.digest = d;
-  entry.request = req;
-  entry.pre_prepared = true;
-
-  auto encode = [&](const Request& request) {
-    ByteWriter w;
-    w.u64(view_);
-    w.u64(seq);
-    write_digest(w, request_digest(request));
-    w.u64(request.id.origin);
-    w.u64(request.id.seq);
-    w.bytes(request.op.data(), request.op.size());
-    return w.take();
-  };
-
-  if (fault_ == PbftFaultMode::kEquivocatePrimary) {
-    // Conflicting assignments to the two halves of the group. Correct
-    // replicas can never gather 2f matching prepares for either copy.
-    Bytes alt_op = req.op.to_bytes();
-    alt_op.push_back(0xFF);
-    Request alt{RequestId{req.id.origin, req.id.seq}, net::Payload(std::move(alt_op))};
-    Bytes wire_a = encode(req), wire_b = encode(alt);
-    std::size_t half = config_.size() / 2;
-    for (std::size_t i = 0; i < config_.size(); ++i) {
-      if (config_.members[i] == transport_.self()) continue;
-      transport_.send(config_.members[i], net::MsgType::kPbftPrePrepare,
-                      i < half ? wire_a : wire_b);
-    }
-    return;
+  if (assigned_or_executed_.contains(req.id)) return;
+  for (const Request& buffered : batch_buf_) {
+    if (buffered.id == req.id) return;  // already awaiting the next flush
   }
+  batch_buf_.push_back(req);
+  batch_buf_bytes_ += req.op.size();
+  if (batch_buf_.size() >= options_.batch_max_ops ||
+      batch_buf_bytes_ >= options_.batch_max_bytes) {
+    flush_batch();
+  } else {
+    arm_batch_timer();  // deadline flush; pure sim time, deterministic
+  }
+}
 
-  broadcast(net::MsgType::kPbftPrePrepare, encode(req));
-  maybe_send_prepare(seq);
+void PbftSmr::arm_batch_timer() {
+  if (batch_timer_ != 0 || stopped_) return;
+  batch_timer_ = transport_.simulator().schedule_after(options_.batch_flush_delay, [this] {
+    batch_timer_ = 0;
+    if (is_primary() && !view_changing_) flush_batch();
+  });
+}
+
+void PbftSmr::disarm_batch_timer() {
+  if (batch_timer_ != 0) {
+    transport_.simulator().cancel(batch_timer_);
+    batch_timer_ = 0;
+  }
+}
+
+void PbftSmr::flush_batch() {
+  // maybe_send_prepare below can execute a committed entry inline, whose
+  // decide callback may propose fresh ops; the guarded re-entrant call
+  // returns and the outer loop drains what it enqueued.
+  if (flushing_) return;
+  disarm_batch_timer();
+  // Ops that got handled since buffering (e.g. adopted through state
+  // transfer) must not be re-proposed; drop them before burning a seq.
+  std::erase_if(batch_buf_,
+                [&](const Request& r) { return assigned_or_executed_.contains(r.id); });
+  flushing_ = true;
+  // The buffer can hold more than one batch's worth (accumulated behind a
+  // closed window, or re-proposals after a view change): carve batches
+  // bounded by batch_max_ops/batch_max_bytes until the buffer drains or
+  // the window closes. collect_garbage retries whatever stays behind.
+  while (!batch_buf_.empty() && in_window(next_seq_)) {
+    std::size_t count = 0, bytes = 0;
+    while (count < batch_buf_.size() && count < options_.batch_max_ops &&
+           bytes < options_.batch_max_bytes) {
+      bytes += batch_buf_[count].op.size();
+      ++count;
+    }
+    std::vector<Request> batch(std::make_move_iterator(batch_buf_.begin()),
+                               std::make_move_iterator(batch_buf_.begin() + static_cast<long>(count)));
+    batch_buf_.erase(batch_buf_.begin(), batch_buf_.begin() + static_cast<long>(count));
+    std::uint64_t seq = next_seq_++;
+    crypto::Digest d = batch_digest(batch);
+    for (const Request& r : batch) assigned_or_executed_.insert(r.id);
+    // NOTE: the requests stay in pending_ until EXECUTED — the view-change
+    // timer watches pending_, and an assigned-but-never-committed request
+    // must still be able to trigger a view change.
+
+    auto encode = [&](const std::vector<Request>& b) {
+      ByteWriter w;
+      w.u64(view_);
+      w.u64(seq);
+      write_digest(w, batch_digest(b));
+      ByteWriter ow;
+      encode_ops_region(ow, b);
+      w.bytes(ow.data());
+      return w.take();
+    };
+
+    LogEntry& entry = log_[seq];
+    entry.view = view_;
+    entry.digest = d;
+    entry.batch = std::move(batch);
+    entry.pre_prepared = true;
+
+    if (fault_ == PbftFaultMode::kEquivocatePrimary) {
+      // Conflicting batches to the two halves of the group (same seq, same
+      // request ids, one op's content mutated). Correct replicas can never
+      // gather 2f matching prepares for either copy.
+      std::vector<Request> alt = entry.batch;
+      Bytes alt_op = alt.front().op.to_bytes();
+      alt_op.push_back(0xFF);
+      alt.front().op = net::Payload(std::move(alt_op));
+      Bytes wire_a = encode(entry.batch), wire_b = encode(alt);
+      std::size_t half = config_.size() / 2;
+      for (std::size_t i = 0; i < config_.size(); ++i) {
+        if (config_.members[i] == transport_.self()) continue;
+        transport_.send(config_.members[i], net::MsgType::kPbftPrePrepare,
+                        i < half ? wire_a : wire_b);
+      }
+      break;  // one equivocated batch per flush is plenty
+    }
+
+    broadcast(net::MsgType::kPbftPrePrepare, encode(entry.batch));
+    maybe_send_prepare(seq);
+  }
+  flushing_ = false;
+  batch_buf_bytes_ = 0;
+  for (const Request& r : batch_buf_) batch_buf_bytes_ += r.op.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -194,13 +287,11 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   std::uint64_t view = r.u64();
   std::uint64_t seq = r.u64();
   crypto::Digest digest = read_digest(r);
-  Request req;
-  req.id.origin = r.u64();
-  req.id.seq = r.u64();
-  // Zero-copy: the op stays a slice of the pre-prepare frame. Every
+  std::span<const std::uint8_t> ops_region = r.bytes_view();
+  // Zero-copy: every op stays a slice of the pre-prepare frame. Every
   // replica shares the primary's one frozen buffer, so the whole group
-  // logs, executes, and decides this op without materializing a copy.
-  req.op = msg.payload.slice(r.bytes_view());
+  // logs, executes, and decides this batch without materializing a copy.
+  std::vector<Request> batch = parse_ops_region(msg.payload, ops_region);
 
   if (view > view_ || (view == view_ && view_changing_)) {
     // Also buffer current-view traffic while mid-view-change: the change
@@ -210,14 +301,18 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   }
   if (view != view_) return;
   if (!in_window(seq)) return;
-  bool is_null = req.id.origin == kNullOrigin;
-  if (!is_null && request_digest(req) != digest) return;
+  bool is_null = batch.empty();
+  // The batch digest covers the ops-region bytes; hashing the slice hits
+  // the frame's digest memo, shared with any other holder of this frame.
+  if (!is_null && msg.payload.slice(ops_region).digest() != digest) return;
 
   // The primary must not invent or alter another member's request: accept
   // only ops we can match against the client's own broadcast (or the
-  // primary's own ops — the primary is its own client). Unknown requests
-  // are stashed until the client's copy arrives.
-  if (!is_null && req.id.origin != msg.from && !assigned_or_executed_.contains(req.id)) {
+  // primary's own ops — the primary is its own client). A batch with an
+  // unknown request is stashed until that client's copy arrives (and may
+  // re-stash under the next missing id when replayed).
+  for (const Request& req : batch) {
+    if (req.id.origin == msg.from || assigned_or_executed_.contains(req.id)) continue;
     auto pit = pending_.find(req.id);
     if (pit == pending_.end()) {
       stashed_pre_prepares_[req.id] = msg;
@@ -233,10 +328,10 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   }
   entry.view = view;
   entry.digest = digest;
-  entry.request = req;
+  entry.batch = std::move(batch);
   entry.pre_prepared = true;
-  if (!is_null) assigned_or_executed_.insert(req.id);
-  // The request remains pending_ until executed (liveness timer input).
+  for (const Request& req : entry.batch) assigned_or_executed_.insert(req.id);
+  // The requests remain pending_ until executed (liveness timer input).
 
   ByteWriter w;
   w.u64(view);
@@ -366,22 +461,38 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
   entry.executed = true;
   next_exec_ = seq;
   head_fetch_rounds_ = 0;  // progress: future gaps get fresh fetch rounds
-  const Request& req = *entry.request;
-  bool is_null = req.id.origin == kNullOrigin;
-  bool duplicate = !is_null && !executed_requests_.insert(req.id).second;
-  if (duplicate || is_null) {
-    exec_history_.push_back(ExecRecord{kNullOrigin, seq, {}});
-  } else {
-    exec_history_.push_back(ExecRecord{req.id.origin, req.id.seq, req.op});
+  // One exec record per seq, holding the whole batch in delivery order
+  // (empty for a null batch). An op that already executed under an earlier
+  // seq — an equivocating client re-submitting — is recorded as a null op
+  // so replayed histories skip it identically.
+  ExecRecord rec;
+  rec.ops.reserve(entry.batch.size());
+  for (const Request& req : entry.batch) {
+    bool duplicate = !executed_requests_.insert(req.id).second;
+    if (duplicate) {
+      rec.ops.push_back(ExecOp{kNullOrigin, req.id.seq, {}});
+    } else {
+      rec.ops.push_back(ExecOp{req.id.origin, req.id.seq, req.op});
+    }
+    assigned_or_executed_.insert(req.id);
+    pending_.erase(req.id);
   }
-  if (!is_null && !duplicate && decide_) {
-    // Zero-copy async decide: req.op is already a refcounted slice of the
-    // pre-prepare frame, shared with the log and exec_history_. The
-    // callback (and everything above it) works on the same buffer.
-    decide_(seq - 1, req.id.origin, req.op);
+  exec_history_.push_back(std::move(rec));
+  // Index-based: decide_ may propose, and with tiny groups (n = 1) that can
+  // commit and execute the NEXT seq inline, growing exec_history_ under us
+  // — references into the vector must be re-derived per iteration.
+  const std::size_t h = exec_history_.size() - 1;
+  for (std::size_t i = 0; i < exec_history_[h].ops.size(); ++i) {
+    if (exec_history_[h].ops[i].origin == kNullOrigin) continue;
+    // Zero-copy async decide: the op is already a refcounted slice of the
+    // pre-prepare frame, shared by the log, exec_history_ and its
+    // batch-mates. The callback (and everything above it) works on the
+    // same buffer; the seq argument is the per-op delivery ordinal.
+    ++decided_ops_;
+    if (decide_) {
+      decide_(decided_ops_ - 1, exec_history_[h].ops[i].origin, exec_history_[h].ops[i].op);
+    }
   }
-  if (!is_null) assigned_or_executed_.insert(req.id);
-  pending_.erase(req.id);
 
   if (seq % options_.checkpoint_interval == 0) {
     send_checkpoint(seq);
@@ -403,9 +514,12 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
 void PbftSmr::send_checkpoint(std::uint64_t seq) {
   ByteWriter hw;
   for (std::size_t i = 0; i < static_cast<std::size_t>(seq) && i < exec_history_.size(); ++i) {
-    hw.u64(exec_history_[i].origin);
-    hw.u64(exec_history_[i].origin_seq);
-    hw.bytes(exec_history_[i].op.data(), exec_history_[i].op.size());
+    hw.varint(exec_history_[i].ops.size());
+    for (const ExecOp& op : exec_history_[i].ops) {
+      hw.u64(op.origin);
+      hw.u64(op.origin_seq);
+      hw.bytes(op.op.data(), op.op.size());
+    }
   }
   crypto::Digest d = crypto::sha256(hw.data());
 
@@ -442,12 +556,14 @@ void PbftSmr::collect_garbage(std::uint64_t stable_seq) {
   stable_seq_ = stable_seq;
   log_.erase(log_.begin(), log_.lower_bound(stable_seq + 1));
   checkpoints_.erase(checkpoints_.begin(), checkpoints_.upper_bound(stable_seq));
-  // Requests stuck behind the window may now be assignable.
+  // Requests stuck behind the window may now be assignable (and a batch
+  // flush that stalled against the window can retry).
   if (is_primary() && !view_changing_) {
     auto pending_copy = pending_;
     for (const auto& [id, op] : pending_copy) {
-      primary_assign(Request{id, op});
+      enqueue_op(Request{id, op});
     }
+    flush_batch();
   }
 }
 
@@ -485,9 +601,12 @@ void PbftSmr::handle_state_fetch(const net::Message& msg) {
   w.u64(from_seq);
   w.varint(end - from_seq);
   for (std::size_t i = static_cast<std::size_t>(from_seq); i < static_cast<std::size_t>(end); ++i) {
-    w.u64(exec_history_[i].origin);
-    w.u64(exec_history_[i].origin_seq);
-    w.bytes(exec_history_[i].op.data(), exec_history_[i].op.size());
+    w.varint(exec_history_[i].ops.size());
+    for (const ExecOp& op : exec_history_[i].ops) {
+      w.u64(op.origin);
+      w.u64(op.origin_seq);
+      w.bytes(op.op.data(), op.op.size());
+    }
   }
   transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
 }
@@ -498,18 +617,26 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
   std::uint64_t from_seq = r.u64();
   if (from_seq != next_exec_) return;  // stale reply
   std::uint64_t count = r.varint();
-  // Bound the claimed count by the bytes actually present (each record is
-  // at least 17 bytes) BEFORE reserving: a Byzantine reply declaring 2^60
-  // entries must be dropped as malformed, not turned into a length_error/
-  // bad_alloc that escapes the SerdeError net below and kills the replica.
+  // Bound the claimed counts by the bytes actually present (each record is
+  // at least 1 byte, each op at least 17) BEFORE reserving: a Byzantine
+  // reply declaring 2^60 entries must be dropped as malformed, not turned
+  // into a length_error/bad_alloc that escapes the SerdeError net below and
+  // kills the replica.
   if (count > r.remaining()) throw SerdeError("state reply count exceeds buffer");
   std::vector<ExecRecord> entries;
   entries.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t op_count = r.varint();
+    if (op_count > r.remaining()) throw SerdeError("state reply op count exceeds buffer");
     ExecRecord rec;
-    rec.origin = r.u64();
-    rec.origin_seq = r.u64();
-    rec.op = msg.payload.slice(r.bytes_view());  // zero-copy out of the reply frame
+    rec.ops.reserve(static_cast<std::size_t>(op_count));
+    for (std::uint64_t j = 0; j < op_count; ++j) {
+      ExecOp op;
+      op.origin = r.u64();
+      op.origin_seq = r.u64();
+      op.op = msg.payload.slice(r.bytes_view());  // zero-copy out of the reply frame
+      rec.ops.push_back(std::move(op));
+    }
     entries.push_back(std::move(rec));
   }
 
@@ -523,9 +650,12 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
     if (seq <= next_exec_ || seq > candidate.size()) continue;
     ByteWriter hw;
     for (std::size_t i = 0; i < static_cast<std::size_t>(seq); ++i) {
-      hw.u64(candidate[i].origin);
-      hw.u64(candidate[i].origin_seq);
-      hw.bytes(candidate[i].op.data(), candidate[i].op.size());
+      hw.varint(candidate[i].ops.size());
+      for (const ExecOp& op : candidate[i].ops) {
+        hw.u64(op.origin);
+        hw.u64(op.origin_seq);
+        hw.bytes(op.op.data(), op.op.size());
+      }
     }
     crypto::Digest d = crypto::sha256(hw.data());
     std::size_t matching = 0;
@@ -557,11 +687,13 @@ void PbftSmr::adopt_history(const std::vector<ExecRecord>& candidate, std::uint6
   for (std::uint64_t seq = next_exec_ + 1; seq <= upto; ++seq) {
     const ExecRecord& rec = candidate[static_cast<std::size_t>(seq - 1)];
     exec_history_.push_back(rec);
-    if (rec.origin != kNullOrigin) {
-      executed_requests_.insert(RequestId{rec.origin, rec.origin_seq});
-      assigned_or_executed_.insert(RequestId{rec.origin, rec.origin_seq});
-      pending_.erase(RequestId{rec.origin, rec.origin_seq});
-      if (decide_) decide_(seq - 1, rec.origin, rec.op);  // shares the reply frame
+    for (const ExecOp& op : rec.ops) {
+      if (op.origin == kNullOrigin) continue;
+      executed_requests_.insert(RequestId{op.origin, op.origin_seq});
+      assigned_or_executed_.insert(RequestId{op.origin, op.origin_seq});
+      pending_.erase(RequestId{op.origin, op.origin_seq});
+      ++decided_ops_;
+      if (decide_) decide_(decided_ops_ - 1, op.origin, op.op);  // shares the reply frame
     }
     next_exec_ = seq;
     log_.erase(seq);  // an unexecutable duplicate must not shadow the record
@@ -608,9 +740,9 @@ void PbftSmr::start_view_change(std::uint64_t explicit_target) {
   vc.stable_seq = stable_seq_;
   vc.sender = transport_.self();
   for (const auto& [seq, entry] : log_) {
-    if (!entry.pre_prepared || !entry.request) continue;
+    if (!entry.pre_prepared) continue;
     if (entry.prepares.size() >= 2 * max_faults()) {
-      vc.prepared.push_back(PreparedProof{seq, entry.view, entry.digest, *entry.request});
+      vc.prepared.push_back(PreparedProof{seq, entry.view, entry.digest, entry.batch});
     }
   }
 
@@ -621,10 +753,9 @@ void PbftSmr::start_view_change(std::uint64_t explicit_target) {
   for (const auto& p : vc.prepared) {
     w.u64(p.seq);
     w.u64(p.view);
-    write_digest(w, p.digest);
-    w.u64(p.request.id.origin);
-    w.u64(p.request.id.seq);
-    w.bytes(p.request.op.data(), p.request.op.size());
+    ByteWriter ow;
+    encode_ops_region(ow, p.batch);
+    w.bytes(ow.data());
   }
   crypto::Signature sig = keys_.key_of(transport_.self()).sign(w.data());
   w.raw(sig.data(), sig.size());
@@ -661,10 +792,12 @@ void PbftSmr::handle_view_change(const net::Message& msg) {
     PreparedProof p;
     p.seq = r.u64();
     p.view = r.u64();
-    p.digest = read_digest(r);
-    p.request.id.origin = r.u64();
-    p.request.id.seq = r.u64();
-    p.request.op = msg.payload.slice(r.bytes_view());
+    // The proof's digest is recomputed from the ops region, never trusted
+    // off the wire; hashing the slice hits this frame's digest memo, so the
+    // new primary assembling O from many proofs hashes each region once.
+    std::span<const std::uint8_t> ops_region = r.bytes_view();
+    p.batch = parse_ops_region(msg.payload, ops_region);
+    p.digest = p.batch.empty() ? crypto::Digest{} : msg.payload.slice(ops_region).digest();
     vc.prepared.push_back(std::move(p));
   }
   vc.sender = msg.from;
@@ -721,14 +854,9 @@ void PbftSmr::maybe_assemble_new_view() {
     ByteWriter ow;
     ow.u64(seq);
     auto cit = chosen.find(seq);
-    if (cit != chosen.end()) {
-      ow.u8(1);
-      ow.u64(cit->second.request.id.origin);
-      ow.u64(cit->second.request.id.seq);
-      ow.bytes(cit->second.request.op.data(), cit->second.request.op.size());
-    } else {
-      ow.u8(0);  // null request fills the gap
-    }
+    ByteWriter ops;  // op_count 0 = the null batch filling the gap
+    encode_ops_region(ops, cit != chosen.end() ? cit->second.batch : std::vector<Request>{});
+    ow.bytes(ops.data());
     o_entries.push_back(ow.take());
   }
   w.varint(o_entries.size());
@@ -744,8 +872,7 @@ void PbftSmr::maybe_assemble_new_view() {
     if (cit != chosen.end()) {
       carried.push_back(cit->second);
     } else {
-      carried.push_back(PreparedProof{
-          seq, target_view_, crypto::Digest{}, Request{RequestId{kNullOrigin, seq}, {}}});
+      carried.push_back(PreparedProof{seq, target_view_, crypto::Digest{}, {}});
     }
   }
   enter_view(target_view_, carried);
@@ -777,29 +904,25 @@ void PbftSmr::handle_new_view(const net::Message& msg) {
     ByteReader er(entry.data(), entry.size());
     std::uint64_t seq = er.u64();
     if (seq != seq_expected) return;  // malformed O
-    std::uint8_t has_req = er.u8();
     PreparedProof p;
     p.seq = seq;
     p.view = new_view;
-    if (has_req) {
-      p.request.id.origin = er.u64();
-      p.request.id.seq = er.u64();
-      p.request.op = msg.payload.slice(er.bytes_view());
-      p.digest = request_digest(p.request);
-    } else {
-      p.request = Request{RequestId{kNullOrigin, seq}, {}};
-      p.digest = crypto::Digest{};
-    }
+    // Batch digests are recomputed locally (an op_count of 0 is the null
+    // batch with the all-zero digest), never trusted off the wire.
+    std::span<const std::uint8_t> ops_region = er.bytes_view();
+    p.batch = parse_ops_region(msg.payload, ops_region);
+    p.digest = p.batch.empty() ? crypto::Digest{} : msg.payload.slice(ops_region).digest();
+    er.expect_done();
     carried.push_back(std::move(p));
   }
 
   // Sanity check against our own evidence: the new primary must not replace
-  // a request we hold a prepared certificate for (higher or equal view).
+  // a batch we hold a prepared certificate for (higher or equal view).
   for (const auto& [seq, entry] : log_) {
     if (!entry.pre_prepared || entry.prepares.size() < 2 * max_faults()) continue;
     if (seq <= stable) continue;
     for (const auto& p : carried) {
-      if (p.seq == seq && p.request.id.origin != kNullOrigin && p.digest != entry.digest &&
+      if (p.seq == seq && !p.batch.empty() && p.digest != entry.digest &&
           entry.view >= p.view) {
         return;  // provably bogus NEW-VIEW: stay and let the next view change fire
       }
@@ -816,6 +939,12 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
   ++view_changes_completed_;
   current_timeout_ = options_.view_change_timeout;
   disarm_view_timer();
+  // A batch buffered while we were primary of a dead view was never
+  // pre-prepared; its ops are still in pending_ and get re-enqueued below
+  // (as primary) or re-proposed by their clients (as backup).
+  disarm_batch_timer();
+  batch_buf_.clear();
+  batch_buf_bytes_ = 0;
   view_changes_.erase(view_changes_.begin(), view_changes_.upper_bound(v));
 
   // Assignments from abandoned views are void: only executed requests and
@@ -823,7 +952,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
   // pending_ becomes assignable again.
   assigned_or_executed_ = executed_requests_;
   for (const auto& p : carried) {
-    if (p.request.id.origin != kNullOrigin) assigned_or_executed_.insert(p.request.id);
+    for (const Request& req : p.batch) assigned_or_executed_.insert(req.id);
   }
 
   // Reset per-view agreement state above the stable checkpoint and replay O.
@@ -841,7 +970,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
     if (entry.executed) continue;
     entry.view = v;
     entry.digest = p.digest;
-    entry.request = p.request;
+    entry.batch = p.batch;
     entry.pre_prepared = true;
     entry.prepares.clear();
     entry.commits.clear();
@@ -866,12 +995,16 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
     }
   }
 
-  // The new primary picks up whatever is still pending.
+  // The new primary picks up whatever is still pending: everything not
+  // carried over gets batched afresh (enqueue flushes full batches as it
+  // goes; the final flush sends the remainder immediately — a new view
+  // must not sit on re-proposals for a deadline tick).
   if (is_primary()) {
     auto pending_copy = pending_;
     for (const auto& [id, op] : pending_copy) {
-      primary_assign(Request{id, op});
+      enqueue_op(Request{id, op});
     }
+    flush_batch();
   } else if (!faulty_now()) {
     // Retransmit our own unordered requests: the new primary may never
     // have received them (e.g. it was partitioned when they were issued).

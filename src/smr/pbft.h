@@ -8,41 +8,60 @@
 // Protocol surface implemented here:
 //   REQUEST      every member doubles as a client: ops are broadcast to all
 //                replicas, buffered, and assigned a sequence by the primary
-//   PRE-PREPARE  primary -> backups, carries the request payload
-//   PREPARE      all -> all; a request is *prepared* after pre-prepare +
-//                2f matching prepares
+//   PRE-PREPARE  primary -> backups, carries a BATCH of requests: the
+//                primary buffers arriving ops and assigns ONE sequence
+//                number per batch frame (bounded by batch_max_ops /
+//                batch_max_bytes, or flushed by a sim-deterministic
+//                deadline), so one quorum and one batch digest are
+//                amortized over every op in the frame
+//   PREPARE      all -> all; a batch is *prepared* after pre-prepare +
+//                2f matching prepares on the batch digest
 //   COMMIT       all -> all; *committed-local* after 2f+1 matching commits;
-//                executed in sequence order
+//                executed in sequence order, firing decide per op in batch
+//                order
 //   CHECKPOINT   every K executions; stable after 2f+1 matching digests,
 //                advances the low watermark and truncates the log
 //   VIEW-CHANGE / NEW-VIEW
-//                timer-driven primary replacement carrying prepared
-//                certificates so decided requests survive the view change
-//   STATE FETCH  lagging replicas fetch the executed-op log from a peer and
+//                timer-driven primary replacement carrying prepared BATCH
+//                certificates so decided batches survive the view change
+//   STATE FETCH  lagging replicas fetch the executed-op log (one record
+//                per seq, holding that seq's whole batch) from a peer and
 //                validate it against an f+1-vouched checkpoint digest
+//
+// Batch wire format (pre-prepare body, also embedded in view-change proofs
+// and new-view O entries):
+//   u64 view, u64 seq, digest, bytes(ops_region)
+//   ops_region := varint op_count, op_count x { u64 origin, u64 origin_seq,
+//                 bytes op }
+// The batch digest is the SHA-256 of the ops_region bytes — the encoding is
+// canonical, so the primary (hashing the buffer it wrote) and the backups
+// (hashing a slice of the arrival frame, hitting the Payload digest memo)
+// agree byte-for-byte. An empty ops_region (op_count 0) is the null batch
+// that fills view-change gaps; its digest is the all-zero digest and it is
+// never hashed or checked.
 //
 // Zero-copy op path: Request::op is a net::Payload — a refcounted slice of
 // the frame the op arrived in (client request, pre-prepare, state reply),
 // or of the locally frozen propose() buffer. The log, pending_ and
 // exec_history_ all share those buffers, and the decide callback hands the
-// SAME slice up the stack, so the async decide path copies nothing
-// (matching Dolev-Strong's batch-slice decide). Lifetime consequence
-// (net/message.h slice-ownership contract): a retained op pins its WHOLE
-// arrival frame. On the hot path that is ~56 bytes of framing per op
-// (request and pre-prepare frames carry exactly one request); ops restored
-// from the cold paths pin more — a state-reply slice pins the whole
-// multi-op history frame and a view-change-carried slice the whole
-// certificate frame — acceptable because both are rare and the frames are
-// dropped again once the ops re-execute or the next checkpoint truncates
-// the log (exec_history_ retention is the exception; see ROADMAP).
+// SAME slice up the stack, so the async decide path copies nothing: a
+// committed batch decides k ops as k slices of the one pre-prepare frame.
+// Lifetime consequence (net/message.h slice-ownership contract): a
+// retained op pins its WHOLE arrival frame. On the hot path that is the
+// batch frame shared by its own batch-mates; ops restored from the cold
+// paths pin more — a state-reply slice pins the whole multi-op history
+// frame and a view-change-carried slice the whole certificate frame —
+// acceptable because both are rare and the frames are dropped again once
+// the ops re-execute or the next checkpoint truncates the log
+// (exec_history_ retention is the exception; see ROADMAP).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <map>
-#include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "crypto/keys.h"
@@ -58,6 +77,15 @@ struct PbftOptions {
   // Log window size (high watermark = low + window).
   std::uint64_t watermark_window = 256;
   bool verify_signatures = true;
+  // --- batching (on by default) ---
+  // The primary buffers arriving ops and flushes one pre-prepare per batch:
+  // when batch_max_ops ops or batch_max_bytes payload bytes are buffered,
+  // or when the flush deadline (armed at the first buffered op; pure sim
+  // time, deterministic) fires — whichever comes first. batch_max_ops = 1
+  // degenerates to classic one-op-per-seq PBFT.
+  std::size_t batch_max_ops = 16;
+  std::size_t batch_max_bytes = 64 * 1024;
+  DurationMicros batch_flush_delay = millis(5);
 };
 
 enum class PbftFaultMode {
@@ -76,8 +104,14 @@ class PbftSmr final : public SmrEngine {
   void propose(Bytes op) override;
   void set_decide_handler(DecideFn fn) override;
   const GroupConfig& config() const override { return config_; }
-  std::uint64_t decided_count() const override { return next_exec_; }
+  // Ops fired through decide_ (a seq may carry many ops, so this counts
+  // decisions, not log slots — see batches_executed() for slots).
+  std::uint64_t decided_count() const override { return decided_ops_; }
   void stop() override;
+
+  // Batch observability (tests/benches): executed log slots and the exact
+  // per-slot batch sizes are what prove the quorum amortization happened.
+  std::uint64_t batches_executed() const { return next_exec_; }
 
   // Runtime fault conversion (scenario Byzantine-storm primitive): fault_
   // is consulted per message/phase, so flipping it on a live replica takes
@@ -106,10 +140,12 @@ class PbftSmr final : public SmrEngine {
     RequestId id;
     net::Payload op;  // slice of the arrival frame; never deep-copied
   };
+  // One log slot holds one BATCH of requests: an empty batch is the null
+  // filler a new view uses for gaps (digest all-zero, executes as a no-op).
   struct LogEntry {
     std::uint64_t view = 0;
     crypto::Digest digest{};
-    std::optional<Request> request;
+    std::vector<Request> batch;
     bool pre_prepared = false;
     std::set<NodeId> prepares;
     std::set<NodeId> commits;
@@ -119,7 +155,7 @@ class PbftSmr final : public SmrEngine {
     std::uint64_t seq;
     std::uint64_t view;
     crypto::Digest digest;
-    Request request;
+    std::vector<Request> batch;  // empty = null batch
   };
   struct ViewChangeMsg {
     std::uint64_t new_view;
@@ -139,7 +175,22 @@ class PbftSmr final : public SmrEngine {
   void handle_state_fetch(const net::Message& msg);
   void handle_state_reply(const net::Message& msg);
 
-  void primary_assign(const Request& req);
+  // Primary-side batching: enqueue buffers an op (flushing when the size
+  // bounds trip and arming the deadline timer otherwise); flush assigns the
+  // next seq to everything buffered and broadcasts one pre-prepare.
+  void enqueue_op(const Request& req);
+  void flush_batch();
+  void arm_batch_timer();
+  void disarm_batch_timer();
+  // Canonical ops-region encoding shared by pre-prepares, view-change
+  // proofs and new-view O entries; the batch digest is the SHA-256 of
+  // exactly these bytes.
+  static void encode_ops_region(ByteWriter& w, const std::vector<Request>& batch);
+  // Parses an ops region as zero-copy slices of `frame`. Throws SerdeError
+  // on malformed bytes (including an op claiming the null origin).
+  static std::vector<Request> parse_ops_region(const net::Payload& frame,
+                                               std::span<const std::uint8_t> region);
+  crypto::Digest batch_digest(const std::vector<Request>& batch) const;
   void maybe_send_prepare(std::uint64_t seq);
   void maybe_send_commit(std::uint64_t seq);
   void try_execute();
@@ -156,7 +207,6 @@ class PbftSmr final : public SmrEngine {
   void enter_view(std::uint64_t v, const std::vector<PreparedProof>& carried);
   void request_state_transfer();
 
-  crypto::Digest request_digest(const Request& req) const;
   bool in_window(std::uint64_t seq) const {
     return seq > stable_seq_ && seq <= stable_seq_ + options_.watermark_window;
   }
@@ -175,6 +225,7 @@ class PbftSmr final : public SmrEngine {
   std::uint64_t stable_seq_ = 0;     // last stable checkpoint
   std::uint64_t origin_seq_ = 0;     // local client sequence
   std::uint64_t view_changes_completed_ = 0;
+  std::uint64_t decided_ops_ = 0;    // ops fired through decide_
 
   std::map<std::uint64_t, LogEntry> log_;
   std::map<RequestId, net::Payload> pending_;    // not yet pre-prepared
@@ -191,12 +242,19 @@ class PbftSmr final : public SmrEngine {
   // primary re-ordering its own op) must not be delivered twice.
   std::set<RequestId> executed_requests_;
   std::map<std::uint64_t, std::map<NodeId, crypto::Digest>> checkpoints_;
-  struct ExecRecord {
+  struct ExecOp {
     NodeId origin;
     std::uint64_t origin_seq;
     net::Payload op;  // shares the decided frame (state-transfer source)
   };
-  std::vector<ExecRecord> exec_history_;  // one per executed seq
+  // One record per executed seq (history[i] holds seq i+1 — checkpoint
+  // hashing and state fetch/reply index by this), holding that seq's whole
+  // batch in delivery order; ops that executed as no-ops (duplicates) are
+  // recorded with the null origin so replayed histories skip them too.
+  struct ExecRecord {
+    std::vector<ExecOp> ops;
+  };
+  std::vector<ExecRecord> exec_history_;
 
   // Head-gap catch-up: a replica whose engine attached mid-instance (a
   // state-synced joiner) or that was cut off (partition heal) may hold
@@ -222,6 +280,16 @@ class PbftSmr final : public SmrEngine {
   int head_fetch_rounds_ = 0;
   // reply digest -> distinct senders of byte-identical replies.
   std::map<crypto::Digest, std::set<NodeId>> state_reply_votes_;
+
+  // Primary-side batch buffer: ops waiting for the next flush. They stay in
+  // pending_ too (the view-change timer watches pending_), so a cleared
+  // buffer — e.g. on losing primaryship — loses nothing.
+  std::vector<Request> batch_buf_;
+  std::size_t batch_buf_bytes_ = 0;
+  sim::EventId batch_timer_ = 0;
+  // Re-entrancy guard: a decide callback fired from inside flush_batch may
+  // propose (and thus try to flush) again; the outer flush loop drains it.
+  bool flushing_ = false;
 
   // View change state.
   bool view_changing_ = false;

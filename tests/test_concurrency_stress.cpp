@@ -86,10 +86,10 @@ TEST(ConcurrencyStress, DigestMemoSameRangeAllThreadsAgree) {
 }
 
 // Adversarial memo churn: threads alternate between TWO distinct ranges of
-// one frame, so the single-entry memo is continuously re-keyed from
-// multiple threads. Every returned digest must still be the correct digest
-// FOR THE RANGE ASKED — a stale or torn (offset, size, digest) triple
-// would return range A's hash for range B.
+// one frame, so the memo set is continuously re-keyed from multiple
+// threads. Every returned digest must still be the correct digest FOR THE
+// RANGE ASKED — a stale or torn (offset, size, digest) triple would return
+// range A's hash for range B.
 TEST(ConcurrencyStress, DigestMemoRekeyingNeverServesWrongRange) {
   constexpr int kThreads = 8;
   constexpr int kIters = 500;
@@ -109,6 +109,45 @@ TEST(ConcurrencyStress, DigestMemoRekeyingNeverServesWrongRange) {
         const Payload& p = want_lo ? lo : hi;
         const crypto::Digest& expected = want_lo ? lo_expected : hi_expected;
         if (p.digest() != expected) mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Eviction churn across the WHOLE memo set: more distinct ranges than
+// kDigestMemoSlots, hammered from all threads, so the round-robin cursor
+// and every slot are concurrently overwritten. Exercises the slot-scan /
+// insert / evict paths under contention (the two-range test above fits in
+// the set and stops evicting once warm). Correctness bar is the same:
+// digest() always returns the digest of the range asked.
+TEST(ConcurrencyStress, DigestMemoEvictionChurnNeverServesWrongRange) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr std::size_t kRanges = Payload::kDigestMemoSlots + 3;
+  Payload frame{pattern_bytes(8192)};
+
+  std::vector<Payload> ranges;
+  std::vector<crypto::Digest> expected;
+  for (std::size_t r = 0; r < kRanges; ++r) {
+    Payload p = frame.slice({frame.data() + 100 * r, 512 + 64 * r});
+    expected.push_back(crypto::sha256(p.data(), p.size()));
+    ranges.push_back(std::move(p));
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        // Each thread walks the ranges with a different stride so slots
+        // are filled and evicted in conflicting orders.
+        const std::size_t r = (static_cast<std::size_t>(i) * (t + 1) + t) % kRanges;
+        if (ranges[r].digest() != expected[r]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     });
   }

@@ -617,11 +617,44 @@ TEST(PayloadDigest, MemoIsKeyedByRange) {
   EXPECT_EQ(dh, crypto::sha256(head.data(), head.size()));
   EXPECT_EQ(dt, crypto::sha256(tail.data(), tail.size()));
 
-  // One-entry memo: the last range computed is the one cached.
+  // The memo is a small set, not a single slot: both ranges stay cached
+  // side by side (a batched pre-prepare hashes the whole ops region AND
+  // per-op sub-ranges of the same frame).
   const std::uint64_t base = crypto::sha256_digest_count();
   EXPECT_EQ(tail.digest(), dt);  // hit
+  EXPECT_EQ(head.digest(), dh);  // hit — did not evict the other range
   EXPECT_EQ(crypto::sha256_digest_count(), base);
-  EXPECT_EQ(head.digest(), dh);  // miss: recomputes and takes the slot
+}
+
+TEST(PayloadDigest, MemoHoldsSlotsRangesAndEvictsRoundRobin) {
+  // One frame, kDigestMemoSlots + 1 distinct ranges.
+  constexpr std::size_t kSlots = Payload::kDigestMemoSlots;
+  Bytes bytes(kSlots + 1);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::uint8_t>(i + 1);
+  Payload frame(bytes);
+  std::vector<Payload> ranges;
+  for (std::size_t i = 0; i < kSlots + 1; ++i) {
+    ranges.push_back(frame.slice({frame.data(), i + 1}));
+  }
+
+  // Fill every slot: k distinct ranges hash exactly k times...
+  std::uint64_t base = crypto::sha256_digest_count();
+  std::vector<crypto::Digest> digests;
+  for (std::size_t i = 0; i < kSlots; ++i) digests.push_back(ranges[i].digest());
+  EXPECT_EQ(crypto::sha256_digest_count(), base + kSlots);
+  // ...and re-hashing any of them is a pure cache hit.
+  for (std::size_t i = 0; i < kSlots; ++i) EXPECT_EQ(ranges[i].digest(), digests[i]);
+  EXPECT_EQ(crypto::sha256_digest_count(), base + kSlots);
+
+  // A (k+1)-th range evicts the oldest entry (round-robin): the newcomer
+  // and the survivors hit, the evicted range recomputes correctly.
+  crypto::Digest extra = ranges[kSlots].digest();
+  EXPECT_EQ(extra, crypto::sha256(ranges[kSlots].data(), ranges[kSlots].size()));
+  base = crypto::sha256_digest_count();
+  EXPECT_EQ(ranges[kSlots].digest(), extra);
+  for (std::size_t i = 1; i < kSlots; ++i) EXPECT_EQ(ranges[i].digest(), digests[i]);
+  EXPECT_EQ(crypto::sha256_digest_count(), base);
+  EXPECT_EQ(ranges[0].digest(), digests[0]);  // evicted: recomputed, still right
   EXPECT_EQ(crypto::sha256_digest_count(), base + 1);
 }
 

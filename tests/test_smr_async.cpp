@@ -162,6 +162,10 @@ TEST(Pbft, EquivocatedOwnOpDeliveredAtMostOnce) {
 TEST(Pbft, CheckpointAdvancesStableSeq) {
   PbftOptions opt;
   opt.checkpoint_interval = 8;
+  // One op per batch so the 20 ops produce 20 sequence numbers and the
+  // checkpoint interval is crossed twice (batched, the burst collapses into
+  // a couple of seqs and no checkpoint fires).
+  opt.batch_max_ops = 1;
   AsyncGroup g(4, opt);
   for (int i = 0; i < 20; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
   g.run_for(seconds(10));

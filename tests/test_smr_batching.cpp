@@ -1,0 +1,233 @@
+// Edge cases of PBFT request batching: deadline vs size-bound flushes, the
+// byte bound splitting a burst, view changes that strand a buffered batch,
+// an equivocating primary sending conflicting BATCHES, and state transfer
+// of a batched exec history to a head-gap replica. The happy paths (order,
+// faults, checkpoints) live in test_smr_async.cpp; this file pins down the
+// seams batching added.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serde.h"
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "smr/pbft.h"
+
+namespace atum::smr {
+namespace {
+
+Bytes op_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+struct BatchGroup {
+  sim::Simulator sim;
+  net::SimNetwork net{sim, net::NetworkConfig::datacenter(), 4242};
+  crypto::KeyStore keys{11};
+  GroupConfig cfg;
+  std::vector<std::unique_ptr<PbftSmr>> replicas;
+  std::map<NodeId, std::vector<std::pair<NodeId, Bytes>>> decided;
+
+  explicit BatchGroup(std::size_t g, PbftOptions opt = {},
+                      std::vector<std::pair<std::size_t, PbftFaultMode>> faults = {}) {
+    for (NodeId n = 0; n < g; ++n) cfg.members.push_back(n);
+    for (NodeId n = 0; n < g; ++n) {
+      PbftFaultMode mode = PbftFaultMode::kCorrect;
+      for (auto [idx, m] : faults) {
+        if (idx == n) mode = m;
+      }
+      auto r = std::make_unique<PbftSmr>(net::Transport(net, n), cfg, keys, opt, mode);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
+        decided[n].emplace_back(origin, op.to_bytes());
+      });
+      replicas.push_back(std::move(r));
+    }
+  }
+
+  PbftSmr& at(std::size_t i) { return *replicas[i]; }
+  void run_for(DurationMicros d) { sim.run_until(sim.now() + d); }
+};
+
+// A partial batch (fewer ops than batch_max_ops) must not wait forever: the
+// flush deadline fires and the whole buffer goes out as ONE sequence.
+TEST(PbftBatching, DeadlineFlushesPartialBatchAsOneSeq) {
+  PbftOptions opt;
+  opt.batch_max_ops = 16;
+  opt.batch_flush_delay = millis(5);
+  BatchGroup g(4, opt);
+  TimeMicros first_decide = -1;
+  g.at(1).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload&) {
+    if (first_decide < 0) first_decide = g.sim.now();
+  });
+  const TimeMicros t0 = g.sim.now();
+  for (int i = 0; i < 3; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(1));
+  ASSERT_EQ(g.decided[0].size(), 3u);
+  // One seq for all three ops (quorum amortization actually happened)...
+  EXPECT_EQ(g.at(0).batches_executed(), 1u);
+  // ...and the flush waited for the deadline, not the full-batch trigger.
+  ASSERT_GE(first_decide, 0);
+  EXPECT_GE(first_decide - t0, opt.batch_flush_delay);
+}
+
+// A full batch flushes immediately — the deadline must not add latency when
+// the size bound already tripped.
+TEST(PbftBatching, FullBatchFlushesBeforeTheDeadline) {
+  PbftOptions opt;
+  opt.batch_max_ops = 16;
+  opt.batch_flush_delay = millis(50);  // long enough to be visible if waited on
+  BatchGroup g(4, opt);
+  TimeMicros first_decide = -1;
+  g.at(1).set_decide_handler([&](std::uint64_t, NodeId, const net::Payload&) {
+    if (first_decide < 0) first_decide = g.sim.now();
+  });
+  const TimeMicros t0 = g.sim.now();
+  for (int i = 0; i < 16; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(1));
+  ASSERT_EQ(g.decided[0].size(), 16u);
+  EXPECT_EQ(g.at(0).batches_executed(), 1u);
+  ASSERT_GE(first_decide, 0);
+  EXPECT_LT(first_decide - t0, opt.batch_flush_delay);
+}
+
+// The byte bound splits a burst even when the op count fits: 64-byte ops
+// under a 100-byte cap carve into two-op batches.
+TEST(PbftBatching, ByteBoundSplitsBurstIntoMultipleSeqs) {
+  PbftOptions opt;
+  opt.batch_max_ops = 16;
+  opt.batch_max_bytes = 100;
+  BatchGroup g(4, opt);
+  for (int i = 0; i < 4; ++i) {
+    Bytes op(64, static_cast<std::uint8_t>(i));
+    g.at(0).propose(std::move(op));
+  }
+  g.run_for(seconds(1));
+  ASSERT_EQ(g.decided[0].size(), 4u);
+  EXPECT_EQ(g.at(0).batches_executed(), 2u);
+  for (NodeId n = 1; n < 4; ++n) EXPECT_EQ(g.decided[n], g.decided[0]);
+}
+
+// batch_max_ops = 1 is classic PBFT: every op its own sequence.
+TEST(PbftBatching, BatchSizeOneDegeneratesToOneSeqPerOp) {
+  PbftOptions opt;
+  opt.batch_max_ops = 1;
+  BatchGroup g(4, opt);
+  for (int i = 0; i < 5; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(2));
+  ASSERT_EQ(g.decided[0].size(), 5u);
+  EXPECT_EQ(g.at(0).batches_executed(), 5u);
+}
+
+// View change mid-batch: the primary buffers ops (deadline far away, size
+// bound not reached) and then dies before flushing. The requests were
+// broadcast, so the backups hold them in pending_, time out the primary,
+// and the NEW primary re-proposes the stranded ops — nothing buffered is
+// lost, nothing is duplicated.
+TEST(PbftBatching, ViewChangeRescuesOpsStrandedInTheBatchBuffer) {
+  PbftOptions opt;
+  opt.batch_max_ops = 16;
+  opt.batch_flush_delay = seconds(30.0);  // never fires inside the test
+  opt.view_change_timeout = millis(500);
+  BatchGroup g(4, opt);
+  for (int i = 0; i < 3; ++i) g.at(0).propose(op_bytes("stranded" + std::to_string(i)));
+  // The ops sit in replica 0's batch buffer; kill it before any flush.
+  g.at(0).set_fault(PbftFaultMode::kSilent);
+  g.run_for(seconds(10));
+  for (NodeId n = 1; n < 4; ++n) {
+    ASSERT_EQ(g.decided[n].size(), 3u) << "replica " << n;
+    EXPECT_EQ(g.decided[n], g.decided[1]);
+    EXPECT_GE(g.at(n).view(), 1u) << "view must have advanced past the dead primary";
+  }
+  // Exactly-once: each stranded op delivered a single time.
+  for (int i = 0; i < 3; ++i) {
+    const Bytes want = op_bytes("stranded" + std::to_string(i));
+    int count = 0;
+    for (const auto& [origin, op] : g.decided[1]) {
+      EXPECT_EQ(origin, 0u);
+      count += (op == want);
+    }
+    EXPECT_EQ(count, 1) << "op " << i;
+  }
+}
+
+// An equivocating primary sends CONFLICTING BATCH frames for the same seq
+// to different halves of the group. The batch digest covers the whole ops
+// region, so the halves cannot both assemble a quorum; correct replicas
+// either agree on one batch or view-change past the traitor — and never
+// diverge or deliver a corrupted op.
+TEST(PbftBatching, EquivocatingPrimaryCannotForkBatches) {
+  PbftOptions opt;
+  opt.batch_max_ops = 8;
+  opt.view_change_timeout = millis(500);
+  BatchGroup g(4, opt, {{0, PbftFaultMode::kEquivocatePrimary}});
+  for (int i = 0; i < 6; ++i) g.at(1).propose(op_bytes("victim" + std::to_string(i)));
+  g.run_for(seconds(15));
+  // All correct replicas decided the same sequence...
+  for (NodeId n = 2; n < 4; ++n) EXPECT_EQ(g.decided[n], g.decided[1]);
+  // ...every op delivered from origin 1 is byte-exact and at most once.
+  for (const auto& [origin, op] : g.decided[1]) {
+    if (origin != 1) continue;
+    bool known = false;
+    for (int i = 0; i < 6; ++i) known |= (op == op_bytes("victim" + std::to_string(i)));
+    EXPECT_TRUE(known) << "corrupted op delivered";
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Bytes want = op_bytes("victim" + std::to_string(i));
+    int count = 0;
+    for (const auto& [origin, op] : g.decided[1]) count += (origin == 1 && op == want);
+    EXPECT_LE(count, 1) << "op " << i << " delivered twice";
+  }
+}
+
+// State transfer of a BATCHED history: a replica isolated through several
+// multi-op batches reconnects with a head gap and adopts the fetched
+// history — per-op, in batch order, prefix-identical to the live replicas.
+TEST(PbftBatching, BatchedExecHistoryTransfersToHeadGapReplica) {
+  PbftOptions opt;
+  opt.batch_max_ops = 4;
+  opt.checkpoint_interval = 4;
+  opt.watermark_window = 16;
+  opt.view_change_timeout = millis(500);
+  BatchGroup g(4, opt);
+
+  g.net.isolate(3, true);
+  for (int i = 0; i < 12; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(10));
+  ASSERT_EQ(g.decided[0].size(), 12u);
+  // The history being transferred really is batched: 12 ops in ≤ 12/4·2
+  // slots (burst arrival makes full batches; allow stragglers).
+  EXPECT_LE(g.at(0).batches_executed(), 6u);
+  EXPECT_TRUE(g.decided[3].empty());
+
+  g.net.isolate(3, false);
+  for (int i = 12; i < 24; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(30));
+  EXPECT_EQ(g.decided[0].size(), 24u);
+  EXPECT_GE(g.decided[3].size(), 12u) << "replica 3 should have fetched the batched history";
+  for (std::size_t i = 0; i < g.decided[3].size(); ++i) {
+    EXPECT_EQ(g.decided[3][i], g.decided[0][i]) << "divergence at " << i;
+  }
+}
+
+// Batch boundaries are invisible to ordering: interleaved proposers, mixed
+// batch fill levels, every replica delivers the identical op sequence.
+TEST(PbftBatching, MixedProposersSameTotalOrderAcrossBatches) {
+  PbftOptions opt;
+  opt.batch_max_ops = 4;
+  opt.batch_flush_delay = millis(2);
+  BatchGroup g(7, opt);
+  for (int i = 0; i < 30; ++i) {
+    g.at(static_cast<std::size_t>(i % 7)).propose(op_bytes("op" + std::to_string(i)));
+  }
+  g.run_for(seconds(10));
+  ASSERT_EQ(g.decided[0].size(), 30u);
+  // Multiple ops really shared seqs.
+  EXPECT_LT(g.at(0).batches_executed(), 30u);
+  for (NodeId n = 1; n < 7; ++n) EXPECT_EQ(g.decided[n], g.decided[0]);
+}
+
+}  // namespace
+}  // namespace atum::smr

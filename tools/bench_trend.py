@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate: run a bench binary, compare against a committed
+baseline, fail on regression.
+
+The benches this tool drives report SIMULATED-time metrics: the discrete-
+event simulator's cost model (per-message CPU, header overhead, bandwidth
+serialization) is machine-independent, so the same binary at the same seed
+produces the same numbers on every host. That is what makes a committed
+baseline meaningful — a diff is a code-behavior change, never host noise.
+
+Usage:
+  # gate: run the bench and diff against the committed baseline
+  tools/bench_trend.py --binary build/bench_smr_throughput \
+      --baseline BENCH_smr_throughput.json
+
+  # refresh the baseline after an intentional perf change
+  tools/bench_trend.py --binary build/bench_smr_throughput \
+      --baseline BENCH_smr_throughput.json --update
+
+Bench JSON contract (stdout of the binary):
+  {"bench": "<name>", "metrics": [
+      {"name": "...", "value": <number>, "higher_is_better": true}, ...]}
+
+Exit codes: 0 ok, 1 regression/missing metric/bench failure, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def load_metrics(doc: dict) -> dict[str, dict]:
+    out = {}
+    for m in doc.get("metrics", []):
+        out[m["name"]] = m
+    return out
+
+
+def run_bench(binary: str, args: list[str]) -> dict:
+    proc = subprocess.run(
+        [binary] + args, stdout=subprocess.PIPE, stderr=sys.stderr, check=False
+    )
+    if proc.returncode != 0:
+        print(f"bench_trend: {binary} exited {proc.returncode}", file=sys.stderr)
+        sys.exit(1)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        print(f"bench_trend: {binary} stdout is not JSON: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="bench executable to run")
+    ap.add_argument(
+        "--args", nargs="*", default=[], help="extra arguments for the bench binary"
+    )
+    ap.add_argument(
+        "--baseline", required=True, help="committed baseline JSON to diff against"
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated relative regression per metric (default 0.20)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="write the fresh run to the baseline file instead of diffing",
+    )
+    opts = ap.parse_args()
+
+    fresh_doc = run_bench(opts.binary, opts.args)
+    fresh = load_metrics(fresh_doc)
+    if not fresh:
+        print("bench_trend: bench reported no metrics", file=sys.stderr)
+        return 1
+
+    if opts.update:
+        with open(opts.baseline, "w") as f:
+            json.dump(fresh_doc, f, indent=2)
+            f.write("\n")
+        print(f"bench_trend: baseline {opts.baseline} updated ({len(fresh)} metrics)")
+        return 0
+
+    try:
+        with open(opts.baseline) as f:
+            base = load_metrics(json.load(f))
+    except FileNotFoundError:
+        print(
+            f"bench_trend: baseline {opts.baseline} missing — run with --update "
+            "to create it",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+    for name, bm in sorted(base.items()):
+        fm = fresh.get(name)
+        if fm is None:
+            failures.append(f"{name}: metric missing from fresh run")
+            continue
+        base_v, fresh_v = float(bm["value"]), float(fm["value"])
+        higher = bool(bm.get("higher_is_better", True))
+        if base_v == 0.0:
+            delta = 0.0 if fresh_v == 0.0 else float("inf")
+        else:
+            delta = (fresh_v - base_v) / abs(base_v)
+        # Regression = movement against the metric's good direction.
+        regression = -delta if higher else delta
+        if delta == 0.0:
+            arrow = "unchanged"
+        elif regression < 0:
+            arrow = "improved"
+        else:
+            arrow = "regressed"
+        line = (
+            f"{name}: {base_v:.4f} -> {fresh_v:.4f} "
+            f"({abs(delta) * 100.0:.1f}% {arrow})"
+        )
+        print(line)
+        if regression > opts.threshold:
+            failures.append(line)
+
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name}: new metric (not in baseline) — refresh with --update")
+
+    if failures:
+        print(
+            f"\nbench_trend: {len(failures)} metric(s) regressed past "
+            f"{opts.threshold * 100.0:.0f}%:",
+            file=sys.stderr,
+        )
+        for f_line in failures:
+            print(f"  {f_line}", file=sys.stderr)
+        return 1
+    print(f"\nbench_trend: all {len(base)} baseline metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
