@@ -201,6 +201,7 @@ void AtumNode::setup_runtime() {
   opt.ds.verify_signatures = sys_.params().verify_signatures;
   opt.pbft.view_change_timeout = sys_.params().view_change_timeout;
   opt.pbft.verify_signatures = sys_.params().verify_signatures;
+  opt.pbft.checkpoint_interval = sys_.params().checkpoint_interval;
   if (behavior_ != NodeBehavior::kCorrect) {
     // §6.1.3: faulty nodes do not participate in any protocol (the
     // evictor keeps heartbeating so it is not removed).
@@ -210,7 +211,12 @@ void AtumNode::setup_runtime() {
 
   smr::GroupConfig cfg;
   cfg.members = vg_.members();
-  smr_ = std::make_unique<smr::ReconfigurableSmr>(sys_.network(), id_, cfg, sys_.keys(), opt);
+  // One-shot: a join snapshot's chain position applies to exactly the
+  // runtime it admitted; bootstrap/deploy paths derive genesis instead.
+  std::optional<smr::EpochState> resume = resume_epoch_;
+  resume_epoch_.reset();
+  smr_ = std::make_unique<smr::ReconfigurableSmr>(sys_.network(), id_, cfg, sys_.keys(), opt,
+                                                  resume);
   smr_->set_decide_handler([this](std::uint64_t seq, NodeId origin, const net::Payload& op) {
     on_smr_decide(seq, origin, op);
   });
@@ -563,10 +569,21 @@ Bytes AtumNode::snapshot_state() const {
     vg_.cycle(c).successor.encode(w);
     vg_.cycle(c).predecessor.encode(w);
   }
+  // Config-history chain position: the snapshot is sent right after the
+  // epoch that admitted the joiner switched in, so the joiner's engine tag
+  // matches the incumbents' current instance.
+  smr::EpochState es;
+  if (smr_) {
+    es.epoch = smr_->epoch();
+    es.hash = smr_->epoch_hash();
+  }
+  w.u64(es.epoch);
+  w.raw(es.hash.data(), es.hash.size());
   return w.take();
 }
 
-group::VGroupState AtumNode::decode_state(const Bytes& wire, std::size_t cycles) {
+group::VGroupState AtumNode::decode_state(const Bytes& wire, std::size_t cycles,
+                                          smr::EpochState& epoch_out) {
   ByteReader r(wire);
   GroupId id = r.u64();
   auto members = r.vec<NodeId>([](ByteReader& br) { return br.u64(); });
@@ -577,6 +594,8 @@ group::VGroupState AtumNode::decode_state(const Bytes& wire, std::size_t cycles)
     state.set_successor(c, group::GroupView::decode(r));
     state.set_predecessor(c, group::GroupView::decode(r));
   }
+  epoch_out.epoch = r.u64();
+  r.raw(epoch_out.hash.data(), epoch_out.hash.size());
   r.expect_done();
   return state;
 }
@@ -636,7 +655,8 @@ void AtumNode::on_direct(const net::Message& msg) {
         } else if (phase == kReplyPhaseState) {
           if (runtime_active_ || !join_wait_.active) return;
           Bytes snapshot = r.bytes();
-          group::VGroupState state = decode_state(snapshot, sys_.params().hc);
+          smr::EpochState epoch;
+          group::VGroupState state = decode_state(snapshot, sys_.params().hc, epoch);
           if (!state.has_member(id_) || !state.has_member(msg.from)) return;
           crypto::Digest d = crypto::sha256(snapshot);
           auto& votes = join_wait_.votes[d];
@@ -649,6 +669,9 @@ void AtumNode::on_direct(const net::Message& msg) {
           std::size_t senders = state.size() > 1 ? state.size() - 1 : 1;
           std::size_t majority = senders / 2 + 1;
           if (votes.size() >= majority) {
+            // The vouched snapshot carries the group's chain position; the
+            // runtime below resumes the epoch chain there.
+            resume_epoch_ = epoch;
             start_with_state(std::move(state));
           }
         }

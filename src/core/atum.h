@@ -199,7 +199,11 @@ class AtumNode {
   void heartbeat_tick();
   void evaluate_suspicions();
   Bytes snapshot_state() const;  // join reply payload
-  static group::VGroupState decode_state(const Bytes& wire, std::size_t cycles);
+  // Decodes a join snapshot; fills `epoch_out` with the config-history
+  // chain position the senders were at (threaded into the joiner's
+  // ReconfigurableSmr so its instance tag matches the incumbents').
+  static group::VGroupState decode_state(const Bytes& wire, std::size_t cycles,
+                                         smr::EpochState& epoch_out);
 
   bool is_sender_behavior() const { return behavior_ == NodeBehavior::kCorrect; }
 
@@ -220,6 +224,10 @@ class AtumNode {
   DeliverFn deliver_;
 
   bool runtime_active_ = false;
+  // Set from an accepted join snapshot, consumed by the next setup_runtime:
+  // the fresh ReconfigurableSmr resumes the config-history hash chain at
+  // the group's position instead of re-deriving genesis.
+  std::optional<smr::EpochState> resume_epoch_;
   std::uint64_t bcast_seq_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t walk_nonce_ = 0;

@@ -20,6 +20,11 @@ struct Params {
   smr::EngineKind engine = smr::EngineKind::kSync;
   DurationMicros round_duration = seconds(1.0);          // sync rounds (§6: 1-1.5 s)
   DurationMicros view_change_timeout = seconds(2.0);     // async liveness timer
+  // PBFT checkpoint cadence: every this-many executed seqs the replicas
+  // exchange checkpoint digests; stability truncates the log and the
+  // executed history (the per-epoch memory bound). Scenario presets shrink
+  // it so short runs cross many boundaries.
+  std::uint64_t checkpoint_interval = 64;
   DurationMicros heartbeat_period = seconds(60.0);       // §5.1: coarse, ~1/min
   std::size_t heartbeat_miss_limit = 3;                  // silence before suspicion
   bool verify_signatures = true;

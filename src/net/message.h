@@ -30,6 +30,7 @@ enum class MsgType : std::uint16_t {
   kPbftCheckpoint = 0x0206,
   kPbftStateFetch = 0x0207,
   kPbftStateReply = 0x0208,
+  kSmrRemovalNotice = 0x0209, // new-epoch members -> reconfigured-out members
   // Overlay layer
   kGroupMsgFull = 0x0300,     // full copy of a group message
   kGroupMsgDigest = 0x0301,   // digest-only copy (§5.1 optimization)

@@ -86,8 +86,21 @@ void GroupMessageReceiver::gc_tombstones() {
   }
 }
 
+void GroupMessageReceiver::maybe_rotate_delivered() {
+  const TimeMicros now = transport_.simulator().now();
+  if (delivered_rotate_at_ == 0) {
+    delivered_rotate_at_ = now + 8 * tombstone_ttl_;
+    return;
+  }
+  if (now < delivered_rotate_at_) return;
+  delivered_prev_ = std::move(delivered_recent_);
+  delivered_recent_.clear();
+  delivered_rotate_at_ = now + 8 * tombstone_ttl_;
+}
+
 void GroupMessageReceiver::on_message(const net::Message& msg) {
   gc_tombstones();
+  maybe_rotate_delivered();
 
   if (msg.type == net::MsgType::kGroupMsgEnvelope) {
     // Coalesced envelope: decode it fully before processing any inner
@@ -144,6 +157,10 @@ void GroupMessageReceiver::on_frame(NodeId from, bool is_full, const net::Payloa
   }
 
   if (membership_ && !membership_(id.from_group, from)) return;
+  // Post-TTL duplicate: the tombstone is gone but the rolling delivered-id
+  // set still remembers the delivery — drop it before it can mint a fresh
+  // Pending entry and re-deliver.
+  if (recently_delivered(id)) return;
 
   Pending& p = pending_[id];
   if (p.expires_at == 0) {
@@ -184,6 +201,7 @@ void GroupMessageReceiver::try_deliver(const GroupMessageId& id, Pending& p) {
     p.payloads.clear();
     p.expires_at = transport_.simulator().now() + tombstone_ttl_;
     gc_queue_.emplace_back(p.expires_at, id);
+    delivered_recent_.insert(id);  // outlives the tombstone (rolling dedup)
     deliver_(id, relay, std::move(payload));
     return;
   }

@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/rng.h"
@@ -107,10 +108,13 @@ class GroupMessageReceiver {
   //    below-majority content, unknown sender groups) are buffering that
   //    timed out — without an expiry one faulty node minting fresh ids
   //    grows the map without bound.
-  // A duplicate arriving later than the TTL would be re-delivered; higher
-  // layers dedup semantically (GossipState first-sighting, walk nonces),
-  // so the TTL only needs to exceed relay straggler latency, not be
-  // infinite.
+  // Behind the tombstones sits a compact rolling delivered-id set (two
+  // generations rotated every 8 TTLs): a duplicate arriving after its
+  // tombstone was collected is still dropped for at least 8 more TTLs —
+  // it would otherwise re-deliver and re-gossip, and for broadcasts the
+  // id's seq is the payload digest prefix, so the set IS a digest set.
+  // The set holds plain 16-byte ids (no payloads), bounded by the delivery
+  // rate over two rotation windows.
   void set_tombstone_ttl(DurationMicros ttl) { tombstone_ttl_ = ttl; }
 
   // Re-evaluates buffered messages (e.g. after learning a group's
@@ -119,6 +123,11 @@ class GroupMessageReceiver {
 
   // Buffered undelivered messages + not-yet-collected tombstones.
   std::size_t pending_count() const { return pending_.size(); }
+  // Delivered ids currently remembered by the rolling dedup set (both
+  // generations); tests pin its bound under sustained delivery.
+  std::size_t delivered_dedup_count() const {
+    return delivered_recent_.size() + delivered_prev_.size();
+  }
 
  private:
   struct Pending {
@@ -139,6 +148,12 @@ class GroupMessageReceiver {
   void on_frame(NodeId from, bool is_full, const net::Payload& wire);
   void try_deliver(const GroupMessageId& id, Pending& p);
   void gc_tombstones();
+  // Rotates the two delivered-id generations every 8 TTLs: an id stays
+  // dedup-covered for at least one full rotation period after delivery.
+  void maybe_rotate_delivered();
+  bool recently_delivered(const GroupMessageId& id) const {
+    return delivered_recent_.contains(id) || delivered_prev_.contains(id);
+  }
 
   net::Transport transport_;
   DeliverFn deliver_;
@@ -150,6 +165,11 @@ class GroupMessageReceiver {
   // creation and once more if delivered — the entry's own expires_at is
   // authoritative); swept lazily on message arrival, O(1) amortized.
   std::deque<std::pair<TimeMicros, GroupMessageId>> gc_queue_;
+  // Rolling delivered-id dedup (see set_tombstone_ttl): recent holds ids
+  // delivered in the current rotation window, prev the window before.
+  std::set<GroupMessageId> delivered_recent_;
+  std::set<GroupMessageId> delivered_prev_;
+  TimeMicros delivered_rotate_at_ = 0;
 };
 
 }  // namespace atum::overlay

@@ -1,6 +1,7 @@
 #include "scenario/driver.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
 
@@ -146,6 +147,7 @@ void ScenarioDriver::poll_pending_ops() {
       if (++op.attempts > 2) {
         // Announced repeatedly without confirmation: exit anyway (see
         // PendingOp). Counted as complete on the next poll.
+        ++metrics_[op.phase].leaves_forced;
         sys_->node(op.node).stop();
       } else {
         // Still a member: the leave proposal was superseded by a concurrent
@@ -499,6 +501,14 @@ std::vector<std::string> ScenarioDriver::check(const ScenarioSpec& spec,
     if (e.min_stream_ratio >= 0.0 && p->stream_ratio() < e.min_stream_ratio) {
       std::snprintf(buf, sizeof buf, "phase '%s': stream ratio %.4f < required %.4f",
                     e.phase.c_str(), p->stream_ratio(), e.min_stream_ratio);
+      add(buf);
+    }
+    if (e.max_forced_leaves >= 0 &&
+        p->leaves_forced > static_cast<std::uint64_t>(e.max_forced_leaves)) {
+      std::snprintf(buf, sizeof buf,
+                    "phase '%s': %" PRIu64 " forced leaves > allowed %" PRId64
+                    " (leave-confirmation gap reopened)",
+                    e.phase.c_str(), p->leaves_forced, e.max_forced_leaves);
       add(buf);
     }
   }

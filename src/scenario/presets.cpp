@@ -172,6 +172,62 @@ ScenarioSpec byzantine_storm(std::size_t nodes, std::uint64_t seed) {
   return s;
 }
 
+// The checkpoint soak: sustained churn with two partition/heal rounds, long
+// enough that every vgroup instance crosses several checkpoint boundaries
+// (checkpoint_interval is shrunk to 2 so even short-lived epochs do). The
+// distinctive expectation is max_forced_leaves = 0 in every phase: with the
+// f+1 removal-notice path closing the leave-confirmation gap, no leaver —
+// not even one announcing from the minority side of a cut — should ever
+// need the scenario driver's force-stop fallback.
+ScenarioSpec long_haul_churn(std::size_t nodes, std::uint64_t seed) {
+  ScenarioSpec s = base_spec("long_haul_churn", nodes, seed);
+  s.params.checkpoint_interval = 2;
+  const double churn_rate = static_cast<double>(nodes) * 0.01;  // 1%/min
+  auto churn_phase = [&](const char* name) {
+    Phase p;
+    p.name = name;
+    p.duration = seconds(120.0);
+    p.churn.joins_per_minute = churn_rate;
+    p.churn.leaves_per_minute = churn_rate;
+    p.broadcasts.per_second = 0.2;
+    return p;
+  };
+  Phase soak = churn_phase("soak");
+  Phase cut1 = churn_phase("cut1");
+  PartitionSplit split;
+  split.minority_fraction = 0.25;
+  cut1.partition = split;
+  Phase heal1 = churn_phase("heal1");
+  heal1.heal = true;
+  Phase cut2 = churn_phase("cut2");
+  cut2.partition = split;
+  Phase heal2 = churn_phase("heal2");
+  heal2.heal = true;
+  s.phases = {soak, cut1, heal1, cut2, heal2};
+
+  auto no_forced = [](const char* phase) {
+    Expectation e;
+    e.phase = phase;
+    e.max_forced_leaves = 0;
+    return e;
+  };
+  s.expectations = {
+      expect_delivery("soak", 0.90),
+      expect_joins("soak", 0.90),
+      // The acceptance criterion after each cut: delivery recovers to the
+      // pre-partition level, and churn keeps completing.
+      expect_recovery("heal1", "soak", 0.90),
+      expect_recovery("heal2", "soak", 0.90),
+      expect_joins("heal2", 0.85),
+      no_forced("soak"),
+      no_forced("cut1"),
+      no_forced("heal1"),
+      no_forced("cut2"),
+      no_forced("heal2"),
+  };
+  return s;
+}
+
 ScenarioSpec stream_under_churn(std::size_t nodes, std::uint64_t seed) {
   ScenarioSpec s = base_spec("stream_under_churn", nodes, seed);
   Phase stream;
@@ -219,6 +275,11 @@ const std::vector<PresetEntry>& registry() {
       {{"stream_under_churn", "AStream source at 0.5 chunk/s while 1%/min churns", 2'000},
        &stream_under_churn,
        0x57EAULL},
+      {{"long_haul_churn",
+        "checkpoint soak: 1%/min churn + two partition/heal rounds, zero forced leaves",
+        10'000},
+       &long_haul_churn,
+       0x10A617ULL},
   };
   return kPresets;
 }

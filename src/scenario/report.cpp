@@ -119,6 +119,7 @@ std::string ScenarioReport::to_json() const {
     j.u64("joins_completed", p.joins_completed);
     j.u64("leaves_requested", p.leaves_requested);
     j.u64("leaves_completed", p.leaves_completed);
+    j.u64("leaves_forced", p.leaves_forced);
     j.u64("stream_chunks_sent", p.stream_chunks_sent);
     j.u64("stream_deliveries_expected", p.stream_deliveries_expected);
     j.u64("stream_deliveries", p.stream_deliveries);

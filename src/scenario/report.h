@@ -40,6 +40,11 @@ struct PhaseMetrics {
   std::uint64_t joins_completed = 0;
   std::uint64_t leaves_requested = 0;
   std::uint64_t leaves_completed = 0;
+  // Leaves that exhausted the announce/retry fallback and force-stopped the
+  // node (the client-side zombie escape hatch). With the f+1 removal-notice
+  // path closing the leave-confirmation gap at the protocol level, a
+  // healthy run keeps this at zero — long_haul_churn asserts it.
+  std::uint64_t leaves_forced = 0;
 
   // Stream workload (attributed to the chunk's sending phase).
   std::uint64_t stream_chunks_sent = 0;

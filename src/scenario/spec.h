@@ -125,6 +125,10 @@ struct Expectation {
   double min_join_ratio = -1.0;
   // Floor on stream chunk deliveries/expected in the phase (ignored if < 0).
   double min_stream_ratio = -1.0;
+  // Ceiling on leaves that needed the force-stop fallback (ignored if < 0).
+  // 0 asserts the leave-confirmation gap stays closed at the protocol level:
+  // no leaver ever had to give up waiting for its vgroup's confirmation.
+  std::int64_t max_forced_leaves = -1;
   double tolerance = 0.02;
 };
 

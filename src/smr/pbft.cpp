@@ -30,16 +30,26 @@ PbftSmr::PbftSmr(net::Transport transport, GroupConfig config, crypto::KeyStore&
       fault_(fault),
       current_timeout_(options.view_change_timeout) {
   config_.normalize();
-  // Instance tag: scopes state fetch/reply to THIS engine instance. Every
-  // replica of one instance — including a state-synced joiner whose local
-  // epoch counter differs — derives the same tag from the shared member
-  // list; successive epochs always differ in membership (no-op reconfigs
-  // are dropped), so an old-instance laggard cannot adopt a successor
-  // instance's history as its own.
-  ByteWriter tw;
-  tw.str("pbft-instance");
-  for (NodeId n : config_.members) tw.u64(n);
-  instance_tag_ = crypto::digest_prefix64(crypto::sha256(tw.data()));
+  // Instance tag: scopes EVERY message — the three-phase traffic as much
+  // as state fetch/reply — to THIS engine instance, as the leading u64 of
+  // each frame (checked and stripped in on_message). Consensus frames from
+  // a different instance over the same node ids must be invisible, not
+  // merely unlikely to quorum: a joiner attached mid-epoch with an empty
+  // log would otherwise assemble quorums out of the NEXT instance's
+  // traffic at its own seq numbering and fork. Every replica of one
+  // instance — including a state-synced joiner whose local epoch counter
+  // differs — must hold the same tag. ReconfigurableSmr passes one derived
+  // from the config-history epoch hash (collision-free across epochs, even
+  // A -> B -> A membership cycles); a directly constructed engine (tests,
+  // single-epoch uses) falls back to deriving it from the member list.
+  if (options_.instance_tag != 0) {
+    instance_tag_ = options_.instance_tag;
+  } else {
+    ByteWriter tw;
+    tw.str("pbft-instance");
+    for (NodeId n : config_.members) tw.u64(n);
+    instance_tag_ = crypto::digest_prefix64(crypto::sha256(tw.data()));
+  }
   transport_.listen({net::MsgType::kPbftRequest, net::MsgType::kPbftPrePrepare,
                      net::MsgType::kPbftPrepare, net::MsgType::kPbftCommit,
                      net::MsgType::kPbftCheckpoint, net::MsgType::kPbftViewChange,
@@ -109,8 +119,15 @@ crypto::Digest PbftSmr::batch_digest(const std::vector<Request>& batch) const {
   return crypto::sha256(w.data());
 }
 
+Bytes PbftSmr::tagged(const Bytes& body) const {
+  ByteWriter w;
+  w.u64(instance_tag_);
+  w.raw(body.data(), body.size());
+  return w.take();
+}
+
 void PbftSmr::broadcast(net::MsgType type, const Bytes& payload, bool include_self) {
-  net::Payload frozen(payload);  // one buffer shared by every replica
+  net::Payload frozen(tagged(payload));  // one buffer shared by every replica
   for (NodeId peer : config_.members) {
     if (peer == transport_.self()) continue;
     transport_.send(peer, type, frozen);
@@ -150,7 +167,7 @@ void PbftSmr::handle_request(const net::Message& msg) {
   req.op = msg.payload.slice(r.bytes_view());     // zero-copy: view of the frame
   if (req.id.origin != msg.from) return;          // clients are the members themselves
   if (!config_.contains(req.id.origin)) return;
-  if (assigned_or_executed_.contains(req.id)) return;
+  if (assigned_or_executed_.contains(req.id.origin, req.id.seq)) return;
 
   pending_[req.id] = req.op;
   if (is_primary() && !view_changing_) {
@@ -173,7 +190,7 @@ void PbftSmr::handle_request(const net::Message& msg) {
 
 void PbftSmr::enqueue_op(const Request& req) {
   if (fault_ == PbftFaultMode::kSilentPrimary) return;
-  if (assigned_or_executed_.contains(req.id)) return;
+  if (assigned_or_executed_.contains(req.id.origin, req.id.seq)) return;
   for (const Request& buffered : batch_buf_) {
     if (buffered.id == req.id) return;  // already awaiting the next flush
   }
@@ -210,8 +227,9 @@ void PbftSmr::flush_batch() {
   disarm_batch_timer();
   // Ops that got handled since buffering (e.g. adopted through state
   // transfer) must not be re-proposed; drop them before burning a seq.
-  std::erase_if(batch_buf_,
-                [&](const Request& r) { return assigned_or_executed_.contains(r.id); });
+  std::erase_if(batch_buf_, [&](const Request& r) {
+    return assigned_or_executed_.contains(r.id.origin, r.id.seq);
+  });
   flushing_ = true;
   // The buffer can hold more than one batch's worth (accumulated behind a
   // closed window, or re-proposals after a view change): carve batches
@@ -229,7 +247,7 @@ void PbftSmr::flush_batch() {
     batch_buf_.erase(batch_buf_.begin(), batch_buf_.begin() + static_cast<long>(count));
     std::uint64_t seq = next_seq_++;
     crypto::Digest d = batch_digest(batch);
-    for (const Request& r : batch) assigned_or_executed_.insert(r.id);
+    for (const Request& r : batch) assigned_or_executed_.insert(r.id.origin, r.id.seq);
     // NOTE: the requests stay in pending_ until EXECUTED — the view-change
     // timer watches pending_, and an assigned-but-never-committed request
     // must still be able to trigger a view change.
@@ -259,7 +277,7 @@ void PbftSmr::flush_batch() {
       Bytes alt_op = alt.front().op.to_bytes();
       alt_op.push_back(0xFF);
       alt.front().op = net::Payload(std::move(alt_op));
-      Bytes wire_a = encode(entry.batch), wire_b = encode(alt);
+      net::Payload wire_a(tagged(encode(entry.batch))), wire_b(tagged(encode(alt)));
       std::size_t half = config_.size() / 2;
       for (std::size_t i = 0; i < config_.size(); ++i) {
         if (config_.members[i] == transport_.self()) continue;
@@ -312,7 +330,10 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   // unknown request is stashed until that client's copy arrives (and may
   // re-stash under the next missing id when replayed).
   for (const Request& req : batch) {
-    if (req.id.origin == msg.from || assigned_or_executed_.contains(req.id)) continue;
+    if (req.id.origin == msg.from ||
+        assigned_or_executed_.contains(req.id.origin, req.id.seq)) {
+      continue;
+    }
     auto pit = pending_.find(req.id);
     if (pit == pending_.end()) {
       stashed_pre_prepares_[req.id] = msg;
@@ -330,7 +351,9 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   entry.digest = digest;
   entry.batch = std::move(batch);
   entry.pre_prepared = true;
-  for (const Request& req : entry.batch) assigned_or_executed_.insert(req.id);
+  for (const Request& req : entry.batch) {
+    assigned_or_executed_.insert(req.id.origin, req.id.seq);
+  }
   // The requests remain pending_ until executed (liveness timer input).
 
   ByteWriter w;
@@ -467,37 +490,46 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
   // so replayed histories skip it identically.
   ExecRecord rec;
   rec.ops.reserve(entry.batch.size());
+  std::uint64_t fresh_ops = 0;
   for (const Request& req : entry.batch) {
-    bool duplicate = !executed_requests_.insert(req.id).second;
-    if (duplicate) {
-      rec.ops.push_back(ExecOp{kNullOrigin, req.id.seq, {}});
-    } else {
+    if (executed_requests_.insert(req.id.origin, req.id.seq)) {
       rec.ops.push_back(ExecOp{req.id.origin, req.id.seq, req.op});
+      ++fresh_ops;
+    } else {
+      rec.ops.push_back(ExecOp{kNullOrigin, req.id.seq, {}});
     }
-    assigned_or_executed_.insert(req.id);
+    assigned_or_executed_.insert(req.id.origin, req.id.seq);
     pending_.erase(req.id);
   }
+  // Ordering matters: fold the record into the state digest, count its
+  // fresh ops, and capture the checkpoint at a boundary BEFORE any decide
+  // callback runs — a callback may propose and (with tiny quorums) execute
+  // the next seq inline, and that nested execution's checkpoint must see
+  // this record fully accounted.
+  fold_record(rec);
+  executed_ops_ += fresh_ops;
+  const ExecRecord fired = rec;  // local copy: nested execution below may
+                                 // push to / trim the deque under us
   exec_history_.push_back(std::move(rec));
-  // Index-based: decide_ may propose, and with tiny groups (n = 1) that can
-  // commit and execute the NEXT seq inline, growing exec_history_ under us
-  // — references into the vector must be re-derived per iteration.
-  const std::size_t h = exec_history_.size() - 1;
-  for (std::size_t i = 0; i < exec_history_[h].ops.size(); ++i) {
-    if (exec_history_[h].ops[i].origin == kNullOrigin) continue;
+  if (seq % options_.checkpoint_interval == 0) {
+    send_checkpoint(seq);
+  }
+  ++exec_depth_;
+  for (const ExecOp& op : fired.ops) {
+    if (op.origin == kNullOrigin) continue;
     // Zero-copy async decide: the op is already a refcounted slice of the
     // pre-prepare frame, shared by the log, exec_history_ and its
     // batch-mates. The callback (and everything above it) works on the
     // same buffer; the seq argument is the per-op delivery ordinal.
     ++decided_ops_;
-    if (decide_) {
-      decide_(decided_ops_ - 1, exec_history_[h].ops[i].origin, exec_history_[h].ops[i].op);
-    }
+    if (decide_) decide_(decided_ops_ - 1, op.origin, op.op);
   }
-
-  if (seq % options_.checkpoint_interval == 0) {
-    send_checkpoint(seq);
-  }
-  // Progress was made: restart (or disarm) the liveness timer.
+  --exec_depth_;
+  trim_history();
+  maybe_stabilize();
+  // Progress was made: withdraw any view change this replica started out of
+  // lag, then restart (or disarm) the liveness timer.
+  abandon_view_change();
   current_timeout_ = options_.view_change_timeout;
   if (pending_.empty()) {
     disarm_view_timer();
@@ -511,31 +543,74 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
 // Checkpoints & state transfer
 // ---------------------------------------------------------------------------
 
-void PbftSmr::send_checkpoint(std::uint64_t seq) {
-  ByteWriter hw;
-  for (std::size_t i = 0; i < static_cast<std::size_t>(seq) && i < exec_history_.size(); ++i) {
-    hw.varint(exec_history_[i].ops.size());
-    for (const ExecOp& op : exec_history_[i].ops) {
-      hw.u64(op.origin);
-      hw.u64(op.origin_seq);
-      hw.bytes(op.op.data(), op.op.size());
-    }
+// Canonical per-record encoding: folded into the incremental state digest
+// and reused verbatim by state replies, so a fetcher re-folding served
+// records reproduces the server's digest chain byte-for-byte.
+void PbftSmr::encode_exec_record(ByteWriter& w, const ExecRecord& rec) {
+  w.varint(rec.ops.size());
+  for (const ExecOp& op : rec.ops) {
+    w.u64(op.origin);
+    w.u64(op.origin_seq);
+    w.bytes(op.op.data(), op.op.size());
   }
-  crypto::Digest d = crypto::sha256(hw.data());
+}
 
+void PbftSmr::fold_record(const ExecRecord& rec) {
+  ByteWriter w;
+  w.raw(state_digest_.data(), state_digest_.size());
+  encode_exec_record(w, rec);
+  state_digest_ = crypto::sha256(w.data());
+}
+
+// Checkpoint body CB(seq) — the full wire message AND the thing voted on
+// (votes store the SHA-256 of these bytes): the incremental state digest
+// pins the executed prefix, the op count pins the decide ordinal space, and
+// the request-ledger encoding lets an installing replica restore its dedup
+// state without replaying the truncated prefix.
+Bytes PbftSmr::checkpoint_body(std::uint64_t seq, const crypto::Digest& state_digest,
+                               std::uint64_t ops, const Bytes& ledger_wire) {
   ByteWriter w;
   w.u64(seq);
-  write_digest(w, d);
-  broadcast(net::MsgType::kPbftCheckpoint, w.data());
+  write_digest(w, state_digest);
+  w.u64(ops);
+  w.bytes(ledger_wire);
+  return w.take();
+}
+
+void PbftSmr::send_checkpoint(std::uint64_t seq) {
+  ByteWriter lw;
+  executed_requests_.encode(lw);
+  Bytes ledger_wire = lw.take();
+  Bytes body = checkpoint_body(seq, state_digest_, executed_ops_, ledger_wire);
+  crypto::Digest d = crypto::sha256(body);
+  own_ckpt_[seq] = CheckpointData{state_digest_, executed_ops_, std::move(ledger_wire)};
+  broadcast(net::MsgType::kPbftCheckpoint, body);
   checkpoints_[seq][transport_.self()] = d;
+  // Stabilization (our vote may complete a quorum) is NOT checked here:
+  // send_checkpoint runs before the boundary record's decides fire, and
+  // truncating the history mid-delivery would pop the record under them.
+  // execute_entry/adopt_entries call maybe_stabilize() after unwinding.
 }
 
 void PbftSmr::handle_checkpoint(const net::Message& msg) {
   ByteReader r(msg.payload);
   std::uint64_t seq = r.u64();
-  crypto::Digest d = read_digest(r);
+  (void)read_digest(r);  // state digest: covered by the body digest below
+  (void)r.u64();         // op count: likewise
+  {
+    // The ledger region must at least parse — a vote whose body could never
+    // be installed is dropped as malformed (SerdeError -> on_message net).
+    std::span<const std::uint8_t> region = r.bytes_view();
+    ByteReader lr(region.data(), region.size());
+    (void)RequestLedger::decode(lr);
+    lr.expect_done();
+  }
+  r.expect_done();
   if (seq <= stable_seq_) return;
+  if (seq % options_.checkpoint_interval != 0) return;  // not a boundary
 
+  // The vote is the digest of the whole body (memoized on the frame).
+  crypto::Digest d = msg.payload.digest();
   auto& votes = checkpoints_[seq];
   votes[msg.from] = d;
 
@@ -551,11 +626,51 @@ void PbftSmr::handle_checkpoint(const net::Message& msg) {
   }
 }
 
+void PbftSmr::maybe_stabilize() {
+  // A boundary we just executed may complete a quorum whose peer votes
+  // arrived BEFORE we executed it — handle_checkpoint alone would leave the
+  // log untruncated until the next peer message. Count votes matching our
+  // own; newest eligible boundary wins.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->first > next_exec_ || it->first <= stable_seq_) continue;
+    auto self_it = it->second.find(transport_.self());
+    if (self_it == it->second.end()) continue;
+    std::size_t matching = 0;
+    for (const auto& [node, digest] : it->second) {
+      if (digest == self_it->second) ++matching;
+    }
+    if (matching >= quorum()) {
+      collect_garbage(it->first);
+      return;
+    }
+  }
+}
+
+void PbftSmr::trim_history() {
+  if (exec_depth_ > 0) return;  // mid-delivery: deferred to the unwind
+  while (exec_base_ < stable_seq_ && !exec_history_.empty()) {
+    exec_history_.pop_front();
+    ++exec_base_;
+  }
+}
+
 void PbftSmr::collect_garbage(std::uint64_t stable_seq) {
   if (stable_seq <= stable_seq_) return;
   stable_seq_ = stable_seq;
   log_.erase(log_.begin(), log_.lower_bound(stable_seq + 1));
   checkpoints_.erase(checkpoints_.begin(), checkpoints_.upper_bound(stable_seq));
+  // Promote our capture of this boundary to the served stable checkpoint
+  // (install_checkpoint sets stable_ckpt_ directly and clears own_ckpt_).
+  if (auto it = own_ckpt_.find(stable_seq); it != own_ckpt_.end()) {
+    stable_ckpt_ = StableCheckpoint{stable_seq, it->second.state_digest, it->second.ops,
+                                    it->second.ledger_wire};
+  }
+  own_ckpt_.erase(own_ckpt_.begin(), own_ckpt_.upper_bound(stable_seq));
+  // The memory bound: everything at or below the stable checkpoint leaves
+  // the executed history (and unpins its batch frames). in_window caps
+  // next_exec_ at stable_seq_ + watermark_window, so after the trim the
+  // history never holds more than watermark_window records.
+  trim_history();
   // Requests stuck behind the window may now be assignable (and a batch
   // flush that stalled against the window can retry).
   if (is_primary() && !view_changing_) {
@@ -586,42 +701,54 @@ void PbftSmr::request_state_transfer() {
 void PbftSmr::handle_state_fetch(const net::Message& msg) {
   if (faulty_now()) return;
   ByteReader r(msg.payload);
-  if (r.u64() != instance_tag_) return;  // a different (older/newer) instance
   std::uint64_t from_seq = r.u64();
   std::uint64_t upto = r.u64();  // exclusive end of the decided prefix; 0 = all
-  if (from_seq >= exec_history_.size()) return;
-  std::uint64_t end = exec_history_.size();
-  // history[i] holds seq i+1, so serving indices [from_seq, upto) hands the
-  // fetcher seqs from_seq+1 .. upto inclusive — the range it pinned.
-  if (upto != 0) end = std::min<std::uint64_t>(end, upto);
-  if (from_seq >= end) return;  // have not executed the requested range yet
+  r.expect_done();
 
+  if (from_seq >= exec_base_) {
+    // The fetcher's head starts inside our retained history: serve the
+    // pinned range — records for seqs (from_seq, min(next_exec_, upto)],
+    // exactly the gap it asked for.
+    std::uint64_t end = exec_base_ + exec_history_.size();  // == next_exec_
+    if (upto != 0) end = std::min(end, upto);
+    if (from_seq >= end) return;  // have not executed the requested range yet
+    ByteWriter w;
+    w.u64(instance_tag_);
+    w.u8(kStateReplyRange);
+    w.u64(from_seq);
+    w.varint(end - from_seq);
+    for (std::uint64_t s = from_seq + 1; s <= end; ++s) {
+      encode_exec_record(w, exec_history_[static_cast<std::size_t>(s - exec_base_ - 1)]);
+    }
+    transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
+    return;
+  }
+  // The requested range predates our truncation point — those records are
+  // gone. Serve the latest stable checkpoint plus every retained record
+  // above it; the fetcher installs the checkpoint (skipping the truncated
+  // prefix) and replays the head.
+  if (!stable_ckpt_) return;
   ByteWriter w;
   w.u64(instance_tag_);
-  w.u64(from_seq);
-  w.varint(end - from_seq);
-  for (std::size_t i = static_cast<std::size_t>(from_seq); i < static_cast<std::size_t>(end); ++i) {
-    w.varint(exec_history_[i].ops.size());
-    for (const ExecOp& op : exec_history_[i].ops) {
-      w.u64(op.origin);
-      w.u64(op.origin_seq);
-      w.bytes(op.op.data(), op.op.size());
-    }
-  }
+  w.u8(kStateReplyInstall);
+  w.u64(from_seq);  // echoed so the fetcher can match reply to request
+  w.u64(stable_ckpt_->seq);
+  w.raw(stable_ckpt_->state_digest.data(), stable_ckpt_->state_digest.size());
+  w.u64(stable_ckpt_->ops);
+  w.bytes(stable_ckpt_->ledger_wire.data(), stable_ckpt_->ledger_wire.size());
+  w.varint(exec_history_.size());  // head records: (stable, next_exec_]
+  for (const ExecRecord& rec : exec_history_) encode_exec_record(w, rec);
   transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
 }
 
-void PbftSmr::handle_state_reply(const net::Message& msg) {
-  ByteReader r(msg.payload);
-  if (r.u64() != instance_tag_) return;  // a different instance's history
-  std::uint64_t from_seq = r.u64();
-  if (from_seq != next_exec_) return;  // stale reply
+std::vector<PbftSmr::ExecRecord> PbftSmr::parse_exec_records(const net::Message& msg,
+                                                             ByteReader& r) const {
   std::uint64_t count = r.varint();
   // Bound the claimed counts by the bytes actually present (each record is
   // at least 1 byte, each op at least 17) BEFORE reserving: a Byzantine
   // reply declaring 2^60 entries must be dropped as malformed, not turned
-  // into a length_error/bad_alloc that escapes the SerdeError net below and
-  // kills the replica.
+  // into a length_error/bad_alloc that escapes the SerdeError net in
+  // on_message and kills the replica.
   if (count > r.remaining()) throw SerdeError("state reply count exceeds buffer");
   std::vector<ExecRecord> entries;
   entries.reserve(static_cast<std::size_t>(count));
@@ -639,69 +766,221 @@ void PbftSmr::handle_state_reply(const net::Message& msg) {
     }
     entries.push_back(std::move(rec));
   }
+  return entries;
+}
 
-  // Validate: the extended history must hash to a digest vouched by f+1
-  // replicas at some checkpoint covered by the reply.
-  std::vector<ExecRecord> candidate = exec_history_;
-  candidate.insert(candidate.end(), entries.begin(), entries.end());
-
-  std::uint64_t best_validated = 0;
-  for (const auto& [seq, votes] : checkpoints_) {
-    if (seq <= next_exec_ || seq > candidate.size()) continue;
-    ByteWriter hw;
-    for (std::size_t i = 0; i < static_cast<std::size_t>(seq); ++i) {
-      hw.varint(candidate[i].ops.size());
-      for (const ExecOp& op : candidate[i].ops) {
-        hw.u64(op.origin);
-        hw.u64(op.origin_seq);
-        hw.bytes(op.op.data(), op.op.size());
-      }
+// Chain validation: simulate folding `entries` (claiming seqs next_exec_+1
+// onward) onto the current state digest / op count / ledger, and at every
+// checkpoint boundary rebuild the body the chain implies and count matching
+// votes. Returns the highest boundary that f+1 voters confirm (0 = none) —
+// everything up to it is provably the group's history, because a correct
+// voter hashed the same digest chain over the same records. O(served
+// bytes), unlike the seed's full-prefix rehash per candidate checkpoint.
+std::uint64_t PbftSmr::validate_chain(const std::vector<ExecRecord>& entries) const {
+  crypto::Digest digest = state_digest_;
+  std::uint64_t ops = executed_ops_;
+  RequestLedger ledger = executed_requests_;
+  std::uint64_t best = 0;
+  std::uint64_t seq = next_exec_;
+  for (const ExecRecord& rec : entries) {
+    ++seq;
+    ByteWriter fw;
+    fw.raw(digest.data(), digest.size());
+    encode_exec_record(fw, rec);
+    digest = crypto::sha256(fw.data());
+    for (const ExecOp& op : rec.ops) {
+      if (op.origin == kNullOrigin) continue;
+      if (ledger.insert(op.origin, op.origin_seq)) ++ops;
     }
-    crypto::Digest d = crypto::sha256(hw.data());
+    if (seq % options_.checkpoint_interval != 0) continue;
+    auto vit = checkpoints_.find(seq);
+    if (vit == checkpoints_.end()) continue;
+    ByteWriter lw;
+    ledger.encode(lw);
+    crypto::Digest body_digest = crypto::sha256(checkpoint_body(seq, digest, ops, lw.take()));
     std::size_t matching = 0;
-    for (const auto& [node, digest] : votes) {
-      if (digest == d) ++matching;
+    for (const auto& [node, vote] : vit->second) {
+      if (vote == body_digest) ++matching;
     }
-    if (matching >= max_faults() + 1) best_validated = std::max(best_validated, seq);
+    if (matching >= max_faults() + 1) best = seq;
   }
-  if (best_validated == 0) {
+  return best;
+}
+
+void PbftSmr::handle_state_reply(const net::Message& msg) {
+  ByteReader r(msg.payload);
+  std::uint8_t kind = r.u8();
+  std::uint64_t from_seq = r.u64();
+  if (from_seq != next_exec_) return;  // stale reply
+
+  if (kind == kStateReplyRange) {
+    std::vector<ExecRecord> entries = parse_exec_records(msg, r);
+    r.expect_done();
+    if (entries.empty()) return;
+    std::uint64_t validated = validate_chain(entries);
+    if (validated > next_exec_) {
+      adopt_entries(entries, validated - next_exec_);
+      collect_garbage(validated);
+      return;
+    }
     // No covering checkpoint — the small-head-gap case (a replica that
     // attached mid-instance; see maybe_fetch_missing_head). Accept the
-    // history once f+1 distinct replicas sent byte-identical replies: at
+    // records once f+1 distinct replicas sent byte-identical replies: at
     // least one of them is correct, and correct replicas only serve history
     // they executed.
-    crypto::Digest reply_digest = msg.payload.digest();
-    std::set<NodeId>& voters = state_reply_votes_[reply_digest];
+    std::set<NodeId>& voters = state_reply_votes_[msg.payload.digest()];
     voters.insert(msg.from);
     if (voters.size() < max_faults() + 1) return;
     state_reply_votes_.clear();
-    adopt_history(candidate, candidate.size());
+    adopt_entries(entries, entries.size());
     return;
   }
+  if (kind != kStateReplyInstall) return;
 
-  adopt_history(candidate, best_validated);
-  collect_garbage(best_validated);
+  std::uint64_t cseq = r.u64();
+  crypto::Digest state_digest{};
+  r.raw(state_digest.data(), state_digest.size());
+  std::uint64_t ops = r.u64();
+  std::span<const std::uint8_t> ledger_region = r.bytes_view();
+  std::vector<ExecRecord> head = parse_exec_records(msg, r);
+  r.expect_done();
+  if (cseq <= next_exec_) return;  // already past the offered boundary
+  if (cseq % options_.checkpoint_interval != 0) return;
+  Bytes ledger_wire(ledger_region.begin(), ledger_region.end());
+  ByteReader lr(ledger_wire);
+  RequestLedger ledger = RequestLedger::decode(lr);
+  lr.expect_done();
+
+  // The checkpoint is trusted only against evidence: either f+1 votes on
+  // exactly this body (the normal request_state_transfer path — the votes
+  // are what triggered the fetch), or f+1 byte-identical whole replies.
+  crypto::Digest body_digest =
+      crypto::sha256(checkpoint_body(cseq, state_digest, ops, ledger_wire));
+  bool ckpt_vouched = false;
+  if (auto vit = checkpoints_.find(cseq); vit != checkpoints_.end()) {
+    std::size_t matching = 0;
+    for (const auto& [node, vote] : vit->second) {
+      if (vote == body_digest) ++matching;
+    }
+    ckpt_vouched = matching >= max_faults() + 1;
+  }
+  bool whole_reply_vouched = false;
+  if (!ckpt_vouched) {
+    std::set<NodeId>& voters = state_reply_votes_[msg.payload.digest()];
+    voters.insert(msg.from);
+    if (voters.size() < max_faults() + 1) return;
+    state_reply_votes_.clear();
+    whole_reply_vouched = true;
+  }
+
+  install_checkpoint(cseq, state_digest, ops, std::move(ledger), std::move(ledger_wire));
+  // The head records claim seqs (cseq, server_next]. install_checkpoint ends
+  // in try_execute, which may run committed entries from the LOCAL log past
+  // the boundary — the same records, by agreement. adopt_entries stamps
+  // whatever it is given at next_exec_+1 onward, so the already-covered
+  // prefix must be dropped here: adopting it verbatim would re-deliver its
+  // ops at fresh seqs and fork the state-digest chain for good.
+  const std::uint64_t covered = next_exec_ - cseq;
+  if (covered >= head.size()) {
+    head.clear();
+  } else {
+    head.erase(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(covered));
+  }
+  if (!head.empty()) {
+    if (whole_reply_vouched) {
+      // f+1 identical replies vouch for the head records too.
+      adopt_entries(head, head.size());
+    } else {
+      // Checkpoint votes cover only the body — a Byzantine server holding a
+      // genuine checkpoint could still forge head records. Adopt only the
+      // prefix a LATER vouched boundary confirms through the digest chain.
+      std::uint64_t validated = validate_chain(head);
+      if (validated > next_exec_) adopt_entries(head, validated - next_exec_);
+    }
+  }
+  maybe_stabilize();
 }
 
-void PbftSmr::adopt_history(const std::vector<ExecRecord>& candidate, std::uint64_t upto) {
-  for (std::uint64_t seq = next_exec_ + 1; seq <= upto; ++seq) {
-    const ExecRecord& rec = candidate[static_cast<std::size_t>(seq - 1)];
-    exec_history_.push_back(rec);
+void PbftSmr::install_checkpoint(std::uint64_t cseq, const crypto::Digest& state_digest,
+                                 std::uint64_t ops, RequestLedger ledger, Bytes ledger_wire) {
+  const std::uint64_t from_seq = next_exec_;
+  const std::uint64_t from_ops = executed_ops_;
+  next_exec_ = cseq;
+  exec_base_ = cseq;
+  exec_history_.clear();
+  state_digest_ = state_digest;
+  executed_ops_ = ops;
+  decided_ops_ = ops;  // skipped ops never fire locally; ordinals resume past them
+  executed_requests_ = ledger;
+  // View-change-carried assignments above the checkpoint are forgotten
+  // here; worst case the primary re-assigns such a request and execution
+  // dedups it against the ledger — a null op, not a double delivery.
+  assigned_or_executed_ = std::move(ledger);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (executed_requests_.contains(it->first.origin, it->first.seq)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stable_ckpt_ = StableCheckpoint{cseq, state_digest_, ops, std::move(ledger_wire)};
+  own_ckpt_.clear();
+  next_seq_ = std::max(next_seq_, cseq + 1);
+  head_fetch_rounds_ = 0;
+  // Truncates log_/checkpoints_ behind the boundary and re-arms the primary
+  // (own_ckpt_ is empty, so the stable_ckpt_ set above is kept as-is).
+  collect_garbage(cseq);
+  if (install_) install_(from_seq, cseq, from_ops, ops);
+  // Entries logged beyond the installed boundary may be executable now.
+  try_execute();
+  // The install moved next_exec_: the current view is serving us state, so
+  // any lag-triggered view change is moot (see abandon_view_change).
+  abandon_view_change();
+}
+
+void PbftSmr::adopt_entries(const std::vector<ExecRecord>& entries, std::uint64_t count) {
+  const std::uint64_t start = next_exec_;
+  ++exec_depth_;
+  for (std::uint64_t i = 0; i < count && i < entries.size(); ++i) {
+    const std::uint64_t seq = start + i + 1;
+    // A decide callback below may propose and execute ahead of us (tiny
+    // quorums commit inline); once next_exec_ moves past the entry we are
+    // about to adopt, the rest of the reply is stale — bail out rather
+    // than fold records out of order.
+    if (seq != next_exec_ + 1) break;
+    const ExecRecord& rec = entries[static_cast<std::size_t>(i)];
+    // Fold the record VERBATIM as served: the state digest chain covers the
+    // null-op markers too, so re-nulling against local ledger state would
+    // fork the chain from the group's.
+    fold_record(rec);
+    std::uint64_t fresh_ops = 0;
     for (const ExecOp& op : rec.ops) {
       if (op.origin == kNullOrigin) continue;
-      executed_requests_.insert(RequestId{op.origin, op.origin_seq});
-      assigned_or_executed_.insert(RequestId{op.origin, op.origin_seq});
+      if (executed_requests_.insert(op.origin, op.origin_seq)) ++fresh_ops;
+      assigned_or_executed_.insert(op.origin, op.origin_seq);
       pending_.erase(RequestId{op.origin, op.origin_seq});
+    }
+    executed_ops_ += fresh_ops;
+    exec_history_.push_back(rec);
+    next_exec_ = seq;
+    log_.erase(seq);  // an unexecutable duplicate must not shadow the record
+    if (seq % options_.checkpoint_interval == 0) send_checkpoint(seq);
+    for (const ExecOp& op : rec.ops) {
+      if (op.origin == kNullOrigin) continue;
       ++decided_ops_;
       if (decide_) decide_(decided_ops_ - 1, op.origin, op.op);  // shares the reply frame
     }
-    next_exec_ = seq;
-    log_.erase(seq);  // an unexecutable duplicate must not shadow the record
   }
+  --exec_depth_;
+  trim_history();
+  maybe_stabilize();
   head_fetch_rounds_ = 0;  // progress: future gaps get fresh fetch rounds
   next_seq_ = std::max(next_seq_, next_exec_ + 1);
   // Entries logged beyond the adopted gap may be executable now.
   try_execute();
+  // Adoption that moved next_exec_ is progress in the current view; a
+  // lag-triggered view change is moot then (see abandon_view_change).
+  if (next_exec_ > start) abandon_view_change();
 }
 
 // ---------------------------------------------------------------------------
@@ -770,6 +1049,31 @@ void PbftSmr::start_view_change(std::uint64_t explicit_target) {
       view_timer_ = 0;
       if (view_changing_) start_view_change();
     });
+  }
+}
+
+void PbftSmr::abandon_view_change() {
+  // A lone laggard's view change can never complete: the other replicas see
+  // a live primary and will not join, while the complainer sits deaf to
+  // current-view traffic (buffered, not handled) and so can never see the
+  // progress that would... have come from the traffic it is buffering. The
+  // exit is execution progress through state transfer: once installs or
+  // adopted records move next_exec_, the current view is demonstrably
+  // serving us — withdraw the complaint and replay what was buffered.
+  // target_view_ is kept so a later genuine complaint still escalates past
+  // every view number this replica has already voted for.
+  if (!view_changing_) return;
+  view_changing_ = false;
+  current_timeout_ = options_.view_change_timeout;
+  std::deque<net::Message> replay;
+  replay.swap(future_view_msgs_);
+  for (const net::Message& m : replay) {
+    // Higher-view messages re-buffer themselves inside the handlers.
+    if (m.type == net::MsgType::kPbftPrePrepare) {
+      handle_pre_prepare(m);
+    } else if (m.type == net::MsgType::kPbftPrepare) {
+      handle_prepare(m);
+    }
   }
 }
 
@@ -952,7 +1256,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
   // pending_ becomes assignable again.
   assigned_or_executed_ = executed_requests_;
   for (const auto& p : carried) {
-    for (const Request& req : p.batch) assigned_or_executed_.insert(req.id);
+    for (const Request& req : p.batch) assigned_or_executed_.insert(req.id.origin, req.id.seq);
   }
 
   // Reset per-view agreement state above the stable checkpoint and replay O.
@@ -1011,6 +1315,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
     for (const auto& [id, op] : pending_) {
       if (id.origin != transport_.self()) continue;
       ByteWriter w;
+      w.u64(instance_tag_);
       w.u64(id.origin);
       w.u64(id.seq);
       w.bytes(op.data(), op.size());
@@ -1024,10 +1329,22 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
 // Dispatch
 // ---------------------------------------------------------------------------
 
-void PbftSmr::on_message(const net::Message& msg) {
+void PbftSmr::on_message(const net::Message& raw) {
   if (stopped_) return;
   if (fault_ == PbftFaultMode::kSilent) return;
-  if (!config_.contains(msg.from)) return;
+  if (!config_.contains(raw.from)) return;
+  // Envelope check: the leading u64 of every frame is the instance tag.
+  // Frames from another instance (an earlier or later epoch running over
+  // overlapping node ids) are dropped here, before any handler can mistake
+  // their seq numbering for this instance's.
+  if (raw.payload.size() < 8) return;
+  net::Message msg = raw;
+  {
+    ByteReader r(raw.payload);
+    if (r.u64() != instance_tag_) return;
+    msg.payload = raw.payload.slice(
+        std::span<const std::uint8_t>(raw.payload.data() + 8, raw.payload.size() - 8));
+  }
   try {
     switch (msg.type) {
       case net::MsgType::kPbftRequest: handle_request(msg); break;

@@ -19,14 +19,21 @@
 //   COMMIT       all -> all; *committed-local* after 2f+1 matching commits;
 //                executed in sequence order, firing decide per op in batch
 //                order
-//   CHECKPOINT   every K executions; stable after 2f+1 matching digests,
-//                advances the low watermark and truncates the log
+//   CHECKPOINT   every K executions; carries the incremental state digest,
+//                the executed-op count and the request ledger at the
+//                boundary; stable after 2f+1 matching body digests, which
+//                advances the low watermark, truncates the log AND the
+//                executed history behind the boundary (memory stops
+//                growing), and records the stable checkpoint for serving
 //   VIEW-CHANGE / NEW-VIEW
 //                timer-driven primary replacement carrying prepared BATCH
 //                certificates so decided batches survive the view change
-//   STATE FETCH  lagging replicas fetch the executed-op log (one record
-//                per seq, holding that seq's whole batch) from a peer and
-//                validate it against an f+1-vouched checkpoint digest
+//   STATE FETCH  lagging replicas fetch state from a peer; the reply is
+//                either the pinned head range (records above the server's
+//                truncation point, chain-validated or f+1-byte-identical)
+//                or the latest stable checkpoint + the head above it
+//                (checkpoint-install: the fetcher skips the truncated
+//                prefix and reports the gap through the install handler)
 //
 // Batch wire format (pre-prepare body, also embedded in view-change proofs
 // and new-view O entries):
@@ -47,19 +54,18 @@
 // SAME slice up the stack, so the async decide path copies nothing: a
 // committed batch decides k ops as k slices of the one pre-prepare frame.
 // Lifetime consequence (net/message.h slice-ownership contract): a
-// retained op pins its WHOLE arrival frame. On the hot path that is the
-// batch frame shared by its own batch-mates; ops restored from the cold
-// paths pin more — a state-reply slice pins the whole multi-op history
-// frame and a view-change-carried slice the whole certificate frame —
-// acceptable because both are rare and the frames are dropped again once
-// the ops re-execute or the next checkpoint truncates the log
-// (exec_history_ retention is the exception; see ROADMAP).
+// retained op pins its WHOLE arrival frame. The pinned set is bounded: the
+// executed history only holds records in (stable_seq_, next_exec_], and
+// in_window caps next_exec_ at stable_seq_ + watermark_window, so at most
+// watermark_window frames stay pinned however long the instance runs.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <span>
 #include <vector>
@@ -86,6 +92,11 @@ struct PbftOptions {
   std::size_t batch_max_ops = 16;
   std::size_t batch_max_bytes = 64 * 1024;
   DurationMicros batch_flush_delay = millis(5);
+  // Instance tag scoping state fetch/reply to one engine instance. 0 (the
+  // default) derives the tag from the member list; ReconfigurableSmr sets
+  // it from the config-history epoch hash, so two non-adjacent epochs with
+  // identical membership (A -> B -> A) can never share a tag.
+  std::uint64_t instance_tag = 0;
 };
 
 enum class PbftFaultMode {
@@ -93,6 +104,74 @@ enum class PbftFaultMode {
   kSilent,             // no participation at all
   kSilentPrimary,      // behaves correctly unless primary, then goes quiet
   kEquivocatePrimary,  // as primary, sends conflicting pre-prepares
+};
+
+// Compact executed/assigned request-id ledger: per origin, a contiguous low
+// watermark (every origin-seq <= low is contained) plus the sparse set of
+// seqs above it. Origins submit with consecutive origin-seqs, so the sparse
+// part stays tiny and the ledger is O(group size) however many requests
+// execute — unlike the std::set<RequestId> it replaces, which grew by one
+// node per executed op forever. The deterministic encoding rides inside the
+// checkpoint body, so a checkpoint-installing replica restores the exact
+// dedup state and a Byzantine client re-submitting a pre-checkpoint op
+// still executes as a no-op.
+class RequestLedger {
+ public:
+  bool contains(NodeId origin, std::uint64_t seq) const {
+    auto it = origins_.find(origin);
+    if (it == origins_.end()) return false;
+    return seq <= it->second.low || it->second.above.contains(seq);
+  }
+  // Returns true when the id was newly inserted; folds runs contiguous with
+  // the watermark into it.
+  bool insert(NodeId origin, std::uint64_t seq) {
+    OriginState& st = origins_[origin];
+    if (seq <= st.low || !st.above.insert(seq).second) return false;
+    while (st.above.contains(st.low + 1)) {
+      st.above.erase(st.low + 1);
+      ++st.low;
+    }
+    return true;
+  }
+  // Canonical encoding (sorted maps/sets => deterministic bytes): varint
+  // origin count, per origin { u64 origin, u64 low, varint above count,
+  // count x u64 }.
+  void encode(ByteWriter& w) const {
+    w.varint(origins_.size());
+    for (const auto& [origin, st] : origins_) {
+      w.u64(origin);
+      w.u64(st.low);
+      w.varint(st.above.size());
+      for (std::uint64_t s : st.above) w.u64(s);
+    }
+  }
+  // Throws SerdeError on malformed bytes (counts are bounded by the bytes
+  // actually present before any allocation).
+  static RequestLedger decode(ByteReader& r) {
+    RequestLedger ledger;
+    std::uint64_t origins = r.varint();
+    if (origins > r.remaining()) throw SerdeError("ledger origin count exceeds buffer");
+    for (std::uint64_t i = 0; i < origins; ++i) {
+      NodeId origin = r.u64();
+      OriginState st;
+      st.low = r.u64();
+      std::uint64_t above = r.varint();
+      if (above > r.remaining()) throw SerdeError("ledger seq count exceeds buffer");
+      for (std::uint64_t j = 0; j < above; ++j) st.above.insert(r.u64());
+      ledger.origins_[origin] = std::move(st);
+    }
+    return ledger;
+  }
+  std::size_t origin_count() const { return origins_.size(); }
+  friend bool operator==(const RequestLedger&, const RequestLedger&) = default;
+
+ private:
+  struct OriginState {
+    std::uint64_t low = 0;
+    std::set<std::uint64_t> above;
+    friend bool operator==(const OriginState&, const OriginState&) = default;
+  };
+  std::map<NodeId, OriginState> origins_;
 };
 
 class PbftSmr final : public SmrEngine {
@@ -109,9 +188,26 @@ class PbftSmr final : public SmrEngine {
   std::uint64_t decided_count() const override { return decided_ops_; }
   void stop() override;
 
+  // Checkpoint-install notification: fired when state transfer adopts a
+  // stable checkpoint wholesale instead of replaying records, i.e. the ops
+  // in (from_ops, to_ops] were decided by the group but will NEVER fire
+  // decide_ here (sequences from_seq+1..to_seq were skipped). The layer
+  // above accounts for the gap (ReconfigurableSmr advances its global
+  // sequence; Atum recovers skipped broadcasts via gossip redelivery).
+  using InstallFn = std::function<void(std::uint64_t from_seq, std::uint64_t to_seq,
+                                       std::uint64_t from_ops, std::uint64_t to_ops)>;
+  void set_install_handler(InstallFn fn) { install_ = std::move(fn); }
+
   // Batch observability (tests/benches): executed log slots and the exact
   // per-slot batch sizes are what prove the quorum amortization happened.
   std::uint64_t batches_executed() const { return next_exec_; }
+  // Memory-bound observability: the executed history holds exactly seqs
+  // (history_base(), history_base() + history_size()], and history_size()
+  // never exceeds watermark_window (each record pins its batch frames; see
+  // the header comment).
+  std::size_t history_size() const { return exec_history_.size(); }
+  std::uint64_t history_base() const { return exec_base_; }
+  std::uint64_t instance_tag() const { return instance_tag_; }
 
   // Runtime fault conversion (scenario Byzantine-storm primitive): fault_
   // is consulted per message/phase, so flipping it on a live replica takes
@@ -195,6 +291,9 @@ class PbftSmr final : public SmrEngine {
   void maybe_send_commit(std::uint64_t seq);
   void try_execute();
   void execute_entry(std::uint64_t seq, LogEntry& entry);
+  // Prepends the instance tag: the envelope every frame travels in (the
+  // receiving on_message checks and strips it before dispatch).
+  Bytes tagged(const Bytes& body) const;
   void broadcast(net::MsgType type, const Bytes& payload, bool include_self = false);
   void send_checkpoint(std::uint64_t seq);
   void collect_garbage(std::uint64_t stable_seq);
@@ -203,6 +302,10 @@ class PbftSmr final : public SmrEngine {
   void disarm_view_timer();
   // explicit_target == 0 means "next view after the current target".
   void start_view_change(std::uint64_t explicit_target = 0);
+  // Called on execution progress: a replica that complained because it had
+  // fallen behind (not because the primary died) withdraws its view change
+  // once the current view demonstrably serves it again.
+  void abandon_view_change();
   void maybe_assemble_new_view();
   void enter_view(std::uint64_t v, const std::vector<PreparedProof>& carried);
   void request_state_transfer();
@@ -218,6 +321,7 @@ class PbftSmr final : public SmrEngine {
   PbftOptions options_;
   PbftFaultMode fault_;
   DecideFn decide_;
+  InstallFn install_;
 
   std::uint64_t view_ = 0;
   std::uint64_t next_seq_ = 1;       // primary's next assignment
@@ -226,10 +330,16 @@ class PbftSmr final : public SmrEngine {
   std::uint64_t origin_seq_ = 0;     // local client sequence
   std::uint64_t view_changes_completed_ = 0;
   std::uint64_t decided_ops_ = 0;    // ops fired through decide_
+  // Fresh (non-duplicate) ops executed, counted per RECORD as it enters the
+  // history — ahead of decided_ops_ while a record's decide callbacks are
+  // still firing (a nested execution at seq+1 must checkpoint with the
+  // outer record fully counted). Equal to decided_ops_ at quiescence; both
+  // jump to the checkpoint's count on install.
+  std::uint64_t executed_ops_ = 0;
 
   std::map<std::uint64_t, LogEntry> log_;
   std::map<RequestId, net::Payload> pending_;    // not yet pre-prepared
-  std::set<RequestId> assigned_or_executed_;     // dedup
+  RequestLedger assigned_or_executed_;           // dedup
   // Pre-prepares whose client request has not arrived yet; replayed when it
   // does (the request broadcast can be overtaken by the primary's message).
   std::map<RequestId, net::Message> stashed_pre_prepares_;
@@ -239,22 +349,74 @@ class PbftSmr final : public SmrEngine {
   std::deque<net::Message> future_view_msgs_;
   static constexpr std::size_t kFutureBufferCap = 4096;
   // Request ids already executed: an equivocating client (e.g. a Byzantine
-  // primary re-ordering its own op) must not be delivered twice.
-  std::set<RequestId> executed_requests_;
+  // primary re-ordering its own op) must not be delivered twice. Carried
+  // inside checkpoint bodies so installs restore the exact dedup state.
+  RequestLedger executed_requests_;
+  // seq -> voter -> checkpoint BODY digest (SHA-256 of the full checkpoint
+  // message: seq, state digest, op count, ledger encoding).
   std::map<std::uint64_t, std::map<NodeId, crypto::Digest>> checkpoints_;
   struct ExecOp {
     NodeId origin;
     std::uint64_t origin_seq;
     net::Payload op;  // shares the decided frame (state-transfer source)
   };
-  // One record per executed seq (history[i] holds seq i+1 — checkpoint
-  // hashing and state fetch/reply index by this), holding that seq's whole
-  // batch in delivery order; ops that executed as no-ops (duplicates) are
-  // recorded with the null origin so replayed histories skip them too.
+  // One record per executed seq, holding that seq's whole batch in delivery
+  // order; ops that executed as no-ops (duplicates) are recorded with the
+  // null origin so replayed histories skip them too.
   struct ExecRecord {
     std::vector<ExecOp> ops;
   };
-  std::vector<ExecRecord> exec_history_;
+  // Bounded executed history: holds exactly seqs (exec_base_, exec_base_ +
+  // size()]; collect_garbage pops everything at or below the stable
+  // checkpoint, so the deque (and the batch frames it pins) is capped by
+  // the watermark window instead of growing for the life of the instance.
+  std::deque<ExecRecord> exec_history_;
+  std::uint64_t exec_base_ = 0;
+  // Incremental executed-state digest: folded per record as
+  // sha256(prev_digest || canonical record encoding). Equal across replicas
+  // iff their executed prefixes are identical; checkpoint bodies carry it,
+  // and chain validation of fetched records just keeps folding.
+  crypto::Digest state_digest_{};
+  // Checkpoint data captured at each boundary we executed (awaiting
+  // stability), and the latest STABLE checkpoint (2f+1 matching votes or
+  // installed) — what handle_state_fetch serves to deep laggards.
+  struct CheckpointData {
+    crypto::Digest state_digest{};
+    std::uint64_t ops = 0;
+    Bytes ledger_wire;
+  };
+  std::map<std::uint64_t, CheckpointData> own_ckpt_;
+  struct StableCheckpoint {
+    std::uint64_t seq = 0;
+    crypto::Digest state_digest{};
+    std::uint64_t ops = 0;
+    Bytes ledger_wire;
+  };
+  std::optional<StableCheckpoint> stable_ckpt_;
+
+  // Checkpoint plumbing (see pbft.cpp for contracts).
+  void fold_record(const ExecRecord& rec);
+  static Bytes checkpoint_body(std::uint64_t seq, const crypto::Digest& state_digest,
+                               std::uint64_t ops, const Bytes& ledger_wire);
+  void maybe_stabilize();
+  void trim_history();
+  std::uint64_t validate_chain(const std::vector<ExecRecord>& entries) const;
+  void adopt_entries(const std::vector<ExecRecord>& entries, std::uint64_t count);
+  void install_checkpoint(std::uint64_t cseq, const crypto::Digest& state_digest,
+                          std::uint64_t ops, RequestLedger ledger, Bytes ledger_wire);
+  std::vector<ExecRecord> parse_exec_records(const net::Message& msg, ByteReader& r) const;
+  static void encode_exec_record(ByteWriter& w, const ExecRecord& rec);
+
+  // State-reply kinds (u8 after the instance tag).
+  static constexpr std::uint8_t kStateReplyRange = 0;    // head records only
+  static constexpr std::uint8_t kStateReplyInstall = 1;  // stable ckpt + head
+
+  // Nested-execution guard: decide callbacks may propose, and with tiny
+  // quorums that executes the NEXT seq inline. History truncation must not
+  // run while any execute/adopt frame is live on the stack (it would pop
+  // records mid-delivery); trim_history defers until the outermost frame
+  // unwinds.
+  int exec_depth_ = 0;
 
   // Head-gap catch-up: a replica whose engine attached mid-instance (a
   // state-synced joiner) or that was cut off (partition heal) may hold
@@ -265,13 +427,11 @@ class PbftSmr final : public SmrEngine {
   // reply that no checkpoint can validate is accepted once f+1 distinct
   // replicas sent byte-identical copies (at least one of them is correct).
   void maybe_fetch_missing_head();
-  // Appends fetched history (decided seqs next_exec_+1..upto), firing
-  // decide_ for each op exactly like execution would.
-  void adopt_history(const std::vector<ExecRecord>& candidate, std::uint64_t upto);
   // min()/4 (not min()): "now - last" must not overflow on the first check.
   TimeMicros last_head_fetch_ = std::numeric_limits<TimeMicros>::min() / 4;
-  // Derived from the member list at construction; state fetch/reply are
-  // scoped to one engine instance by this tag (see the ctor comment).
+  // Set from options_.instance_tag, or derived from the member list when
+  // that is 0; state fetch/reply are scoped to one engine instance by this
+  // tag (see the ctor comment).
   std::uint64_t instance_tag_ = 0;
   // Head-gap fetch rounds since the last execution progress; finite so a
   // replica whose instance was retired under it stops probing (and so the

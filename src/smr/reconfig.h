@@ -4,6 +4,26 @@
 // monotonically increasing sequence across epochs; operations proposed but
 // not yet decided when an epoch closes are re-proposed in the next epoch.
 //
+// Config-history hash chain: every epoch is identified by
+//   epoch_hash = SHA-256(prev_epoch_hash || config_op_digest)
+// rooted at a genesis hash over the initial member list. The chain value —
+// not the member list — derives the PBFT instance tag, so two non-adjacent
+// epochs with identical membership (A -> B -> A) can never share a tag and
+// an old-instance laggard can never adopt a successor instance's history.
+// The (epoch, hash) pair travels in the join snapshot (core/atum.cpp), so a
+// state-synced joiner resumes the chain at the group's position.
+//
+// Removal notices close the leave-confirmation gap at the protocol level: a
+// config op that removes members retires the very instance that decided it,
+// so a removed replica partitioned across the switch would otherwise wait
+// forever on a dead instance (zombie member). After the switch, continuing
+// members send the removed set a kSmrRemovalNotice carrying the new epoch,
+// its chain hash and member list (retried on a short backoff); a removed
+// node accepts once f+1 members of its own last-known config sent
+// byte-identical notices — at least one is correct — and fires the config
+// handler as if it had decided the op itself. The scenario driver's
+// announce/retry/timeout flow stays as the client-side fallback.
+//
 // The wrapper manages only the *local* replica's lifecycle. Creating
 // replicas on newly added members (and state-syncing them) is the group
 // layer's job — it learns about membership changes via the config handler.
@@ -11,11 +31,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "crypto/keys.h"
+#include "crypto/sha256.h"
 #include "net/network.h"
 #include "smr/dolev_strong.h"
 #include "smr/pbft.h"
@@ -33,6 +56,14 @@ struct EngineOptions {
   PbftFaultMode pbft_fault = PbftFaultMode::kCorrect;
 };
 
+// Position in the config-history hash chain; rides in the join snapshot so
+// a joiner's ReconfigurableSmr resumes at the group's epoch instead of
+// re-deriving epoch 0 from the member list.
+struct EpochState {
+  std::uint64_t epoch = 0;
+  crypto::Digest hash{};
+};
+
 // Builds a fresh engine for a configuration. Exposed so tests can run both
 // kinds through one code path.
 std::unique_ptr<SmrEngine> make_engine(net::Transport transport, GroupConfig config,
@@ -41,9 +72,14 @@ std::unique_ptr<SmrEngine> make_engine(net::Transport transport, GroupConfig con
 class ReconfigurableSmr {
  public:
   using ConfigFn = std::function<void(std::uint64_t epoch, const GroupConfig&)>;
+  // Checkpoint-install pass-through (PBFT engines only): the gap ops were
+  // decided by the group but never fire decide_ locally; global_seq_ is
+  // advanced past them before this fires. See PbftSmr::InstallFn.
+  using InstallFn = std::function<void(std::uint64_t skipped_ops)>;
 
   ReconfigurableSmr(net::SimNetwork& net, NodeId self, GroupConfig initial,
-                    crypto::KeyStore& keys, EngineOptions options);
+                    crypto::KeyStore& keys, EngineOptions options,
+                    std::optional<EpochState> resume = std::nullopt);
   ~ReconfigurableSmr();
 
   // Proposes an application operation (totally ordered across epochs).
@@ -53,6 +89,7 @@ class ReconfigurableSmr {
 
   void set_decide_handler(DecideFn fn) { decide_ = std::move(fn); }
   void set_config_handler(ConfigFn fn) { config_changed_ = std::move(fn); }
+  void set_install_handler(InstallFn fn) { install_ = std::move(fn); }
 
   // Runtime fault conversion: applies to the live engine immediately and to
   // every engine started for later epochs (scenario Byzantine primitives
@@ -61,6 +98,8 @@ class ReconfigurableSmr {
 
   const GroupConfig& config() const { return config_; }
   std::uint64_t epoch() const { return epoch_; }
+  // Head of the config-history hash chain (the current epoch's identity).
+  const crypto::Digest& epoch_hash() const { return epoch_hash_; }
   std::uint64_t decided_count() const { return global_seq_; }
   // False once the local node has been reconfigured out of the group.
   bool active() const { return engine_ != nullptr; }
@@ -69,6 +108,8 @@ class ReconfigurableSmr {
  private:
   void start_engine();
   void on_engine_decide(NodeId origin, const net::Payload& wrapped);
+  void send_removal_notices(const std::vector<NodeId>& removed);
+  void on_removal_notice(const net::Message& msg);
 
   net::SimNetwork& net_;
   NodeId self_;
@@ -78,14 +119,28 @@ class ReconfigurableSmr {
 
   DecideFn decide_;
   ConfigFn config_changed_;
+  InstallFn install_;
 
   std::unique_ptr<SmrEngine> engine_;
+  // Dedicated transport for removal notices: it outlives engine swaps (the
+  // notice targets exactly the nodes whose engines are gone) and its
+  // registrations coexist with the engine's on the same node.
+  net::Transport notice_transport_;
   std::uint64_t epoch_ = 0;
+  crypto::Digest epoch_hash_{};
   std::uint64_t global_seq_ = 0;
   // Ops this node proposed that have not been decided yet; re-proposed on
   // epoch change so reconfiguration cannot silently drop them.
   std::vector<Bytes> unacked_;
   bool switching_ = false;
+  // Members of the config that decided the pending switch; the removed set
+  // (pre-switch minus post-switch) gets notices after the swap.
+  std::vector<NodeId> pre_switch_members_;
+  // Removal-notice retry timers (canceled in stop()).
+  std::vector<sim::EventId> notice_timers_;
+  // Notice digest -> senders; accepted at f+1 of the last-known config.
+  std::map<crypto::Digest, std::set<NodeId>> notice_votes_;
+  bool stopped_ = false;
 };
 
 }  // namespace atum::smr

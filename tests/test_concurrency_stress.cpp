@@ -155,6 +155,52 @@ TEST(ConcurrencyStress, DigestMemoEvictionChurnNeverServesWrongRange) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// The checkpoint-install interleaving: a state-reply frame is shared by the
+// vote counter, which digests the checkpoint BODY (memoizing the digest on
+// the frame's control block — f+1 byte-identical votes match on it), and by
+// the adopters, which slice ledger records out of the same body, digest
+// them, and drop them while votes are still being counted. Model exactly
+// that: memo hits on one hot range racing memo inserts/evictions for many
+// record subranges plus refcount churn down to the last reference. TSan
+// gates the races; the asserts gate value consistency either way.
+TEST(ConcurrencyStress, CheckpointInstallBodyDigestVsRecordSliceChurn) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  Payload frame{pattern_bytes(16384)};
+  Payload body = frame.slice({frame.data() + 64, 12000});
+  const crypto::Digest body_expected = crypto::sha256(body.data(), body.size());
+
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          // Vote counter: the body digest must be stable however hard the
+          // record slices churn the memo set around it.
+          if (body.digest() != body_expected) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          // Adopter: carve a record out of the body, digest it, drop it.
+          // Offsets vary per thread and iteration so the memo keeps
+          // inserting and evicting while the body entry is being read.
+          const std::size_t off = 64 + 128 * ((static_cast<std::size_t>(i) * (t + 1)) % 80);
+          Payload record = frame.slice({frame.data() + off, 256 + (static_cast<std::size_t>(t) * 32)});
+          const crypto::Digest direct = crypto::sha256(record.data(), record.size());
+          if (record.digest() != direct) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(body.digest(), body_expected);
+}
+
 // The sha256_digest_count() instrumentation gauge must stay exact when
 // digests are computed from worker threads (the scenario reports diff it
 // across phases; a racy counter would both trip TSan and drift).

@@ -186,6 +186,34 @@ TEST_F(GmFixture, DeliversExactlyOnceOnDuplicates) {
   EXPECT_EQ(delivered.size(), 1u);
 }
 
+// Regression: a duplicate arriving AFTER its tombstone expired used to mint
+// a fresh Pending entry and deliver the same GroupMessageId a second time.
+// The rolling delivered-id set (kept for ~8 TTLs past delivery) must drop it.
+TEST_F(GmFixture, PostTtlDuplicateIsNotRedelivered) {
+  make_receiver();
+  rx->set_tombstone_ttl(seconds(1));
+  send_from_all(Bytes{0xD7}, group_a);
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+
+  // Let the tombstone expire, then prove it is really gone: an unrelated
+  // frame triggers the GC sweep and the pending table empties.
+  sim.run_until(sim.now() + seconds(3));
+  for (NodeId s : group_a) {
+    net::Transport t(net, s);
+    send_group_message(t, group_a, GroupMessageId{50, 10}, {receiver}, Bytes{0x11}, rng);
+  }
+  sim.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  // Only the fresh id's tombstone remains; the expired one was collected.
+  EXPECT_EQ(rx->pending_count(), 1u) << "expired tombstone should have been collected";
+
+  // The replayed id is past its tombstone but inside the rolling window.
+  send_from_all(Bytes{0xD7}, group_a);
+  sim.run();
+  EXPECT_EQ(delivered.size(), 2u) << "post-TTL duplicate was re-delivered";
+}
+
 TEST_F(GmFixture, DigestOptimizationOnlyMajoritySendsFull) {
   make_receiver();
   // Count wire message types: ranks 0..2 (of 5) send full, ranks 3..4 digest.

@@ -222,7 +222,8 @@ TEST(Pbft, QuorumArithmetic) {
 TEST(Pbft, NonMemberCannotInjectOps) {
   AsyncGroup g(4);
   ByteWriter w;
-  w.u64(99);  // claimed origin
+  w.u64(g.at(0).instance_tag());  // correct envelope: the member check must still hold
+  w.u64(99);                      // claimed origin
   w.u64(1);
   w.bytes(op_bytes("evil"));
   g.net.send(net::Message{99, 0, net::MsgType::kPbftRequest, w.take()});
@@ -234,6 +235,7 @@ TEST(Pbft, SpoofedOriginRejected) {
   AsyncGroup g(4);
   // Member 2 claims an op originated at member 1.
   ByteWriter w;
+  w.u64(g.at(0).instance_tag());  // correct envelope: the origin check must still hold
   w.u64(1);
   w.u64(1);
   w.bytes(op_bytes("forged"));
@@ -357,15 +359,11 @@ TEST(Pbft, ByzantineStateReplyWithHugeCountIsDropped) {
   AsyncGroup g(4);
 
   // Replica 3 forges a state reply to replica 0 with the group's real
-  // instance tag (derived from the member list, same as the engine does)
-  // and a claimed count of 2^60 entries in a ~20-byte body.
-  ByteWriter tag_w;
-  tag_w.str("pbft-instance");
-  for (NodeId n : g.cfg.members) tag_w.u64(n);
-  std::uint64_t tag = crypto::digest_prefix64(crypto::sha256(tag_w.data()));
-
+  // instance tag (so the frame passes the envelope check) and a claimed
+  // count of 2^60 entries in a ~20-byte body.
   ByteWriter w;
-  w.u64(tag);
+  w.u64(g.at(0).instance_tag());
+  w.u8(0);   // kind: head-range reply
   w.u64(0);  // from_seq == victim's next_exec_
   w.varint(std::uint64_t{1} << 60);
   g.net.send(net::Message{3, 0, net::MsgType::kPbftStateReply, net::Payload(w.take())});

@@ -1,0 +1,262 @@
+// Regression tests for the PBFT checkpoint window and the config-history
+// hash chain:
+//  * the executed history stays bounded by watermark_window however long
+//    the instance runs (the seed pinned every batch frame forever);
+//  * a laggard whose gap crosses the peers' truncation point installs the
+//    stable checkpoint and reports the skipped range through the install
+//    handler, then converges on the suffix;
+//  * non-adjacent epochs with identical membership (A -> B -> A) get
+//    distinct epoch hashes and therefore distinct instance tags;
+//  * a member removed while partitioned learns of its removal from f+1
+//    byte-identical removal notices once the partition heals (the
+//    leave-confirmation gap).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "smr/pbft.h"
+#include "smr/reconfig.h"
+
+namespace atum::smr {
+namespace {
+
+Bytes op_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+struct CkptGroup {
+  sim::Simulator sim;
+  net::SimNetwork net{sim, net::NetworkConfig::datacenter(), 77};
+  crypto::KeyStore keys{29};
+  GroupConfig cfg;
+  std::vector<std::unique_ptr<PbftSmr>> replicas;
+  std::map<NodeId, std::vector<std::pair<NodeId, Bytes>>> decided;
+
+  explicit CkptGroup(std::size_t g, PbftOptions opt) {
+    for (NodeId n = 0; n < g; ++n) cfg.members.push_back(n);
+    for (NodeId n = 0; n < g; ++n) {
+      auto r = std::make_unique<PbftSmr>(net::Transport(net, n), cfg, keys, opt,
+                                         PbftFaultMode::kCorrect);
+      r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
+        decided[n].emplace_back(origin, op.to_bytes());
+      });
+      replicas.push_back(std::move(r));
+    }
+  }
+
+  PbftSmr& at(std::size_t i) { return *replicas[i]; }
+  void run_for(DurationMicros d) { sim.run_until(sim.now() + d); }
+};
+
+// The memory bound, asserted: 200 sequential ops with batch_max_ops=1 fill
+// 200 log slots; with interval 4 / window 16 the retained history must
+// never exceed the window and the base must have advanced far past zero.
+// On the seed behavior (exec_history_ unbounded) history_size() would be
+// 200 and history_base() 0 — this test fails there by two orders.
+TEST(PbftCheckpoint, ExecutedHistoryStaysBoundedByWindow) {
+  PbftOptions opt;
+  opt.checkpoint_interval = 4;
+  opt.watermark_window = 16;
+  opt.batch_max_ops = 1;
+  CkptGroup g(4, opt);
+
+  for (int i = 0; i < 200; ++i) {
+    g.at(static_cast<std::size_t>(i % 4)).propose(op_bytes("op" + std::to_string(i)));
+    if (i % 10 == 9) g.run_for(millis(200));
+  }
+  g.run_for(seconds(10));
+
+  ASSERT_EQ(g.decided[0].size(), 200u);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(g.decided[n], g.decided[0]) << "replica " << n;
+    EXPECT_LE(g.at(n).history_size(), opt.watermark_window)
+        << "replica " << n << " pinned more than the head window";
+    EXPECT_GT(g.at(n).history_base(), 150u)
+        << "replica " << n << " never truncated (seed behavior)";
+    EXPECT_GE(g.at(n).stable_seq(), 180u) << "replica " << n;
+  }
+}
+
+// Checkpoints keep advancing across a view change (the new primary's
+// instance continues the same digest chain).
+TEST(PbftCheckpoint, WindowSurvivesViewChange) {
+  PbftOptions opt;
+  opt.checkpoint_interval = 4;
+  opt.watermark_window = 16;
+  opt.batch_max_ops = 1;
+  opt.view_change_timeout = millis(500);
+  CkptGroup g(4, opt);
+
+  for (int i = 0; i < 20; ++i) g.at(1).propose(op_bytes("a" + std::to_string(i)));
+  g.run_for(seconds(5));
+  ASSERT_EQ(g.decided[1].size(), 20u);
+
+  g.at(0).set_fault(PbftFaultMode::kSilent);  // primary of view 0 dies
+  for (int i = 0; i < 20; ++i) g.at(1).propose(op_bytes("b" + std::to_string(i)));
+  g.run_for(seconds(20));
+
+  ASSERT_EQ(g.decided[1].size(), 40u);
+  for (NodeId n = 1; n < 4; ++n) {
+    EXPECT_EQ(g.decided[n], g.decided[1]) << "replica " << n;
+    EXPECT_GE(g.at(n).view(), 1u);
+    EXPECT_LE(g.at(n).history_size(), opt.watermark_window) << "replica " << n;
+    EXPECT_GE(g.at(n).stable_seq(), 20u)
+        << "replica " << n << ": checkpoints must keep stabilizing in the new view";
+  }
+}
+
+// A laggard cut off across several checkpoint boundaries cannot replay the
+// truncated prefix: it must install the peers' stable checkpoint, report
+// the skipped ops through the install handler, and decide the suffix
+// identically — no op lost, none duplicated, ordinals accounted for.
+TEST(PbftCheckpoint, InstallCatchUpAccountsForSkippedOps) {
+  PbftOptions opt;
+  opt.checkpoint_interval = 4;
+  opt.watermark_window = 16;
+  opt.batch_max_ops = 1;
+  CkptGroup g(4, opt);
+
+  g.net.isolate(3, true);
+  for (int i = 0; i < 60; ++i) {
+    g.at(0).propose(op_bytes("op" + std::to_string(i)));
+    if (i % 10 == 9) g.run_for(millis(200));
+  }
+  g.run_for(seconds(5));
+  ASSERT_EQ(g.decided[0].size(), 60u);
+  ASSERT_TRUE(g.decided[3].empty());
+  // The servers really truncated past the laggard's position.
+  ASSERT_GT(g.at(0).history_base(), 0u);
+
+  std::uint64_t skipped = 0;
+  std::uint64_t installs = 0;
+  g.at(3).set_install_handler(
+      [&](std::uint64_t from_seq, std::uint64_t to_seq, std::uint64_t from_ops,
+          std::uint64_t to_ops) {
+        EXPECT_LT(from_seq, to_seq);
+        skipped += to_ops - from_ops;
+        ++installs;
+      });
+  g.net.isolate(3, false);
+  for (int i = 60; i < 72; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(30));
+  // Once installed, the replica takes part in agreement again: ops proposed
+  // now must decide at replica 3 through the normal three-phase path.
+  for (int i = 72; i < 74; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(10));
+
+  ASSERT_EQ(g.decided[0].size(), 74u);
+  EXPECT_GE(installs, 1u);
+  ASSERT_EQ(skipped + g.decided[3].size(), 74u) << "gap + suffix must cover the sequence";
+  EXPECT_GT(g.decided[3].size(), 0u);
+  for (std::size_t i = 0; i < g.decided[3].size(); ++i) {
+    EXPECT_EQ(g.decided[3][i], g.decided[0][static_cast<std::size_t>(skipped) + i])
+        << "divergence at suffix index " << i;
+  }
+  EXPECT_LE(g.at(3).history_size(), opt.watermark_window);
+}
+
+GroupConfig members(std::initializer_list<NodeId> ns) {
+  GroupConfig c;
+  c.members = ns;
+  c.normalize();
+  return c;
+}
+
+struct ChainHarness {
+  sim::Simulator sim;
+  net::SimNetwork net{sim, net::NetworkConfig::datacenter(), 53};
+  crypto::KeyStore keys{17};
+  EngineOptions opt;
+  std::map<NodeId, std::unique_ptr<ReconfigurableSmr>> nodes;
+
+  ChainHarness() {
+    opt.kind = EngineKind::kAsync;
+    opt.pbft.view_change_timeout = millis(500);
+  }
+
+  void add_node(NodeId n, const GroupConfig& cfg) {
+    nodes[n] = std::make_unique<ReconfigurableSmr>(net, n, cfg, keys, opt);
+  }
+  void run_for(DurationMicros d) { sim.run_until(sim.now() + d); }
+};
+
+// A -> B -> A: the third epoch has the same membership as the first but a
+// different chain hash, so the PBFT instance tag differs too — an
+// old-instance laggard can never adopt the new instance's history.
+TEST(EpochChain, IdenticalMembershipsNonAdjacentEpochsGetDistinctTags) {
+  ChainHarness h;
+  auto a = members({0, 1, 2, 3});
+  for (NodeId n : {0u, 1u, 2u, 3u, 4u}) h.add_node(n, a);
+  // Node 4 idles with config A but is not a member; it joins in epoch B.
+
+  std::vector<crypto::Digest> hashes;
+  std::vector<std::uint64_t> tags;
+  auto record = [&](NodeId n) {
+    hashes.push_back(h.nodes[n]->epoch_hash());
+    tags.push_back(crypto::digest_prefix64(h.nodes[n]->epoch_hash()));
+  };
+  record(0);  // epoch 0 (A)
+
+  h.nodes[0]->propose_reconfig(members({0, 1, 2, 3, 4}));
+  h.run_for(seconds(5));
+  ASSERT_EQ(h.nodes[0]->epoch(), 1u);
+  record(0);  // epoch 1 (B)
+
+  h.nodes[1]->propose_reconfig(a);
+  h.run_for(seconds(5));
+  ASSERT_EQ(h.nodes[0]->epoch(), 2u);
+  record(0);  // epoch 2 (A again)
+
+  EXPECT_NE(hashes[0], hashes[1]);
+  EXPECT_NE(hashes[1], hashes[2]);
+  EXPECT_NE(hashes[0], hashes[2]) << "A->B->A epochs must not share a chain hash";
+  EXPECT_NE(tags[0], tags[2]) << "A->B->A epochs must not share an instance tag";
+
+  // All members of the final config agree on the chain head.
+  for (NodeId n : a.members) {
+    EXPECT_EQ(h.nodes[n]->epoch_hash(), hashes[2]) << "node " << n;
+    EXPECT_EQ(h.nodes[n]->epoch(), 2u) << "node " << n;
+  }
+}
+
+// The leave-confirmation gap: node 3 is partitioned while the group decides
+// its removal; the config op retired the instance that decided it, so node
+// 3 can never learn the outcome from that instance. After the heal, the
+// retried removal notices (f+1 byte-identical from members of its
+// last-known config) close the gap at the protocol level.
+TEST(EpochChain, PartitionedRemovedMemberLearnsRemovalFromNotices) {
+  ChainHarness h;
+  auto cfg = members({0, 1, 2, 3});
+  for (NodeId n : cfg.members) h.add_node(n, cfg);
+
+  std::vector<std::pair<std::uint64_t, bool>> node3_configs;  // (epoch, contains self)
+  h.nodes[3]->set_config_handler([&](std::uint64_t epoch, const GroupConfig& c) {
+    node3_configs.emplace_back(epoch, c.contains(3));
+  });
+
+  h.net.isolate(3, true);
+  h.run_for(millis(100));
+  h.nodes[0]->propose_reconfig(members({0, 1, 2}));
+  h.run_for(seconds(2));
+  ASSERT_EQ(h.nodes[0]->epoch(), 1u);
+  ASSERT_TRUE(h.nodes[3]->active()) << "zombie: decided out but never told";
+  ASSERT_TRUE(node3_configs.empty());
+
+  h.net.isolate(3, false);
+  h.run_for(seconds(10));  // covers the 1 s and 5 s notice retries
+
+  ASSERT_EQ(node3_configs.size(), 1u) << "node 3 must learn of its removal exactly once";
+  EXPECT_EQ(node3_configs[0].first, 1u);
+  EXPECT_FALSE(node3_configs[0].second);
+  EXPECT_FALSE(h.nodes[3]->active());
+  EXPECT_EQ(h.nodes[3]->epoch_hash(), h.nodes[0]->epoch_hash())
+      << "the notice carries the new chain head";
+}
+
+}  // namespace
+}  // namespace atum::smr

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/keys.h"
@@ -31,8 +32,9 @@ struct ReconfigHarness {
     opt.pbft.view_change_timeout = millis(500);
   }
 
-  void add_node(NodeId n, const GroupConfig& cfg) {
-    auto r = std::make_unique<ReconfigurableSmr>(net, n, cfg, keys, opt);
+  void add_node(NodeId n, const GroupConfig& cfg,
+                std::optional<EpochState> resume = std::nullopt) {
+    auto r = std::make_unique<ReconfigurableSmr>(net, n, cfg, keys, opt, std::move(resume));
     r->set_decide_handler([this, n](std::uint64_t, NodeId origin, const net::Payload& op) {
       decided[n].emplace_back(origin, op.to_bytes());
     });
@@ -129,8 +131,10 @@ TEST_P(ReconfigBothEngines, GrowingTheGroupActivatesNewMember) {
   h.nodes[2]->propose_reconfig(next);
   h.run_for(seconds(5));
   ASSERT_EQ(h.nodes[0]->config().members, next.members);
-  // The group layer creates the new member's replica once the config lands.
-  h.add_node(5, next);
+  // The group layer creates the new member's replica once the config lands,
+  // handing it the chain position from the join snapshot — without it the
+  // joiner's instance tag would not match the group's epoch-1 instance.
+  h.add_node(5, next, EpochState{h.nodes[0]->epoch(), h.nodes[0]->epoch_hash()});
   h.nodes[5]->propose(op_bytes("from-new-member"));
   h.run_for(seconds(5));
   for (NodeId n : {0u, 1u, 2u, 5u}) {
