@@ -9,6 +9,8 @@
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "overlay/gossip.h"
 #include "overlay/hgraph.h"
 #include "overlay/random_walk.h"
@@ -234,6 +236,53 @@ static void BM_GossipCoalescedSend(benchmark::State& state) {
                           static_cast<int64_t>(frames));
 }
 BENCHMARK(BM_GossipCoalescedSend)->Arg(1)->Arg(8)->Arg(32);
+
+// Observability cells (ISSUE 9). The instrumentation contract is "near
+// zero when idle": a cached Counter* bump is one relaxed fetch_add, a
+// histogram record is two fetch_adds plus the bucket math, and a disabled
+// tracer call is one relaxed bool load + branch. These pin those costs.
+static void BM_CounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 2862933555777941757ULL + 3037000493ULL) >> 32;  // vary the bucket
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_TraceDisabled(benchmark::State& state) {
+  obs::Tracer tracer;  // default: disabled — the cost every hop pays always
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    tracer.record(++t, 7, obs::TracePoint::kRelay, 0x9e3779b97f4a7c15ULL, 12, 3);
+  }
+  benchmark::DoNotOptimize(tracer.recorded());
+}
+BENCHMARK(BM_TraceDisabled);
+
+static void BM_TraceEnabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.enable(/*ring_capacity=*/4096);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    tracer.record(++t, 7, obs::TracePoint::kRelay, 0x9e3779b97f4a7c15ULL, 12, 3);
+  }
+  benchmark::DoNotOptimize(tracer.recorded());
+}
+BENCHMARK(BM_TraceEnabled);
 
 static void BM_HGraphInsert(benchmark::State& state) {
   for (auto _ : state) {

@@ -35,6 +35,7 @@
 
 namespace atum::ashare {
 
+// lint: adhoc-counter-ok(per-request result record returned to the caller, not a metric)
 struct GetStats {
   bool ok = false;
   DurationMicros elapsed = 0;

@@ -1,11 +1,21 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace atum {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mu;  // serializes emission; composition stays lock-free
+
+struct Context {
+  bool active = false;
+  std::uint64_t node = 0;
+  std::int64_t sim_us = 0;
+};
+thread_local Context t_ctx;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,12 +30,32 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel level) { g_level = level; }
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+void Logger::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void Logger::set_context(std::uint64_t node, std::int64_t sim_us) {
+  t_ctx = Context{true, node, sim_us};
+}
+void Logger::clear_context() { t_ctx = Context{}; }
 
 void Logger::write(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // Compose the whole line first, emit it in one write: concurrent
+  // threads (the TSan stress suite) get whole-line interleaving only.
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  if (t_ctx.active) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[n=%llu t=%lldus] ",
+                  static_cast<unsigned long long>(t_ctx.node),
+                  static_cast<long long>(t_ctx.sim_us));
+    line += buf;
+  }
+  line += msg;
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace atum

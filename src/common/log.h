@@ -1,8 +1,12 @@
 // Minimal leveled logger. Benchmarks run with logging off; tests can raise
-// the level to debug protocol traces. Not thread-safe by design: the
-// simulator is single-threaded.
+// the level to debug protocol traces. One simulator is single-threaded,
+// but the TSan stress suite runs several simulators on concurrent threads:
+// the level is atomic, the optional context is thread-local, and a line is
+// composed first and emitted in one write under a mutex so concurrent
+// lines never interleave mid-line.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -14,6 +18,12 @@ class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel level);
+  // Optional context prefix (thread-local): while set, every line from
+  // this thread is prefixed "[n=<node> t=<sim_us>us]" — a harness driving
+  // one node's callback sets it so protocol traces identify the node and
+  // the sim-time without every call site repeating them.
+  static void set_context(std::uint64_t node, std::int64_t sim_us);
+  static void clear_context();
   static void write(LogLevel level, const std::string& msg);
 };
 

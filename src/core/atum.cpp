@@ -45,6 +45,48 @@ AtumSystem::AtumSystem(Params params, net::NetworkConfig net_config, std::uint64
     : params_(params), net_(sim_, std::move(net_config), seed ^ 0x5a5aULL), keys_(seed),
       rng_(seed) {
   params_.validate();
+  // One observability surface for the whole deployment (ISSUE 9): the
+  // pre-existing ad-hoc counters stay on their hot paths and the registry
+  // polls them as probes at sample() time. Sums over nodes_ are
+  // order-independent, so the unordered map is safe to fold here.
+  net_.bind_metrics(registry_);
+  registry_.probe("sim.live_events", {}, [this] { return sim_.live_events(); });
+  registry_.probe("sim.slot_count", {},
+                  [this] { return static_cast<std::uint64_t>(sim_.slot_count()); });
+  registry_.probe("sim.executed_events", {}, [this] { return sim_.executed_events(); });
+  registry_.probe("crypto.sha256_digests", {}, [] { return crypto::sha256_digest_count(); });
+  registry_.probe("atum.nodes_joined", {}, [this] {
+    std::uint64_t n = 0;
+    // lint: unordered-iter-ok(sum; order-independent)
+    for (const auto& [id, node] : nodes_) n += node->joined() ? 1 : 0;
+    return n;
+  });
+  registry_.probe("atum.broadcasts_delivered", {}, [this] {
+    std::uint64_t n = 0;
+    // lint: unordered-iter-ok(sum; order-independent)
+    for (const auto& [id, node] : nodes_) n += node->delivered_count();
+    return n;
+  });
+  registry_.probe("atum.coalescer.frames_enqueued", {}, [this] {
+    std::uint64_t n = 0;
+    // lint: unordered-iter-ok(sum; order-independent)
+    for (const auto& [id, node] : nodes_) n += node->coalescer().frames_enqueued();
+    return n;
+  });
+  registry_.probe("atum.coalescer.messages_sent", {}, [this] {
+    std::uint64_t n = 0;
+    // lint: unordered-iter-ok(sum; order-independent)
+    for (const auto& [id, node] : nodes_) n += node->coalescer().messages_sent();
+    return n;
+  });
+  registry_.probe("atum.coalescer.envelopes_sent", {}, [this] {
+    std::uint64_t n = 0;
+    // lint: unordered-iter-ok(sum; order-independent)
+    for (const auto& [id, node] : nodes_) n += node->coalescer().envelopes_sent();
+    return n;
+  });
+  registry_.probe("atum.groups", {},
+                  [this] { return static_cast<std::uint64_t>(group_map().size()); });
 }
 
 AtumSystem::~AtumSystem() {
@@ -157,6 +199,7 @@ AtumNode::AtumNode(AtumSystem& system, NodeId id, NodeBehavior behavior)
       rng_(system.rng().next_u64() ^ id),
       coalescer_(transport_, rng_),
       gossip_(overlay::forward_flood()) {
+  coalescer_.set_tracer(&system.tracer());
   transport_.listen({net::MsgType::kJoinRequest, net::MsgType::kJoinReply,
                      net::MsgType::kHeartbeat},
                     [this](const net::Message& m) { on_direct(m); });
@@ -202,6 +245,8 @@ void AtumNode::setup_runtime() {
   opt.pbft.view_change_timeout = sys_.params().view_change_timeout;
   opt.pbft.verify_signatures = sys_.params().verify_signatures;
   opt.pbft.checkpoint_interval = sys_.params().checkpoint_interval;
+  opt.pbft.metrics = &sys_.metrics();
+  opt.pbft.tracer = &sys_.tracer();
   if (behavior_ != NodeBehavior::kCorrect) {
     // §6.1.3: faulty nodes do not participate in any protocol (the
     // evictor keeps heartbeating so it is not removed).
@@ -238,6 +283,7 @@ void AtumNode::setup_runtime() {
     auto v = vg_.find_group(g);
     return v && v->has_member(n);
   });
+  gm_rx_->set_tracer(&sys_.tracer());
 
   if (behavior_ != NodeBehavior::kSilent) {
     heartbeat_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -304,7 +350,15 @@ void AtumNode::broadcast(Bytes payload) {
   group::BroadcastOp op;
   op.bcast = BroadcastId{id_, ++bcast_seq_};
   op.payload = std::move(payload);
-  smr_->propose(op.encode());
+  Bytes wire = op.encode();
+  obs::Tracer& tr = sys_.tracer();
+  if (tr.enabled()) {
+    // The op encoding IS the gossip frame (static_assert above), so this
+    // digest prefix is the key every later hop of the broadcast records.
+    tr.record(sys_.simulator().now(), id_, obs::TracePoint::kSend,
+              crypto::digest_prefix64(crypto::sha256(wire)), op.bcast.seq);
+  }
+  smr_->propose(std::move(wire));
 }
 
 // ===========================================================================
@@ -321,7 +375,7 @@ void AtumNode::on_smr_decide(std::uint64_t, NodeId origin, const net::Payload& w
   switch (op.kind) {
     case group::OpKind::kBroadcast: {
       if (op.broadcast.bcast.origin != origin) return;  // forged origin
-      deliver_broadcast(op.broadcast.bcast, op.broadcast.payload);
+      deliver_broadcast(op.broadcast.bcast, op.broadcast.payload, wire);
       // The decided op IS the gossip frame (see static_assert above):
       // relay the buffer we already hold instead of re-encoding it.
       relay_gossip(op.broadcast.bcast, op.broadcast.payload, wire);
@@ -457,7 +511,7 @@ void AtumNode::on_group_message(const overlay::GroupMessageId& gm_id, NodeId,
         // The broadcast body is a slice of the received frame; the frame
         // itself is relayed verbatim. Neither is ever copied.
         net::Payload body = payload.slice(r.bytes_view());
-        deliver_broadcast(id, body);
+        deliver_broadcast(id, body, payload);
         relay_gossip(id, body, payload);
         break;
       }
@@ -481,9 +535,16 @@ void AtumNode::on_group_message(const overlay::GroupMessageId& gm_id, NodeId,
   }
 }
 
-void AtumNode::deliver_broadcast(const BroadcastId& id, const net::Payload& payload) {
+void AtumNode::deliver_broadcast(const BroadcastId& id, const net::Payload& payload,
+                                 const net::Payload& frame) {
   if (!gossip_.first_sighting(id)) return;
   ++delivered_;
+  obs::Tracer& tr = sys_.tracer();
+  if (tr.enabled()) {
+    // frame.digest() is memoized and shared with the vouch/relay paths.
+    tr.record(sys_.simulator().now(), id_, obs::TracePoint::kDeliver,
+              crypto::digest_prefix64(frame.digest()), id.origin);
+  }
   if (behavior_ == NodeBehavior::kCorrect && deliver_) deliver_(id.origin, payload);
 }
 
@@ -500,9 +561,18 @@ void AtumNode::relay_gossip(const BroadcastId& id, const net::Payload& payload,
   // Overlapping neighbor member sets (several neighbor groups can contain
   // the same physical node) and multiple broadcasts decided in one tick
   // all coalesce per destination here.
+  std::size_t fanned = 0;
   for (const overlay::NeighborRef& ref : relays) {
     auto view = vg_.find_group(ref.group);
-    if (view) msg->send_to(coalescer_, view->members);
+    if (view) {
+      msg->send_to(coalescer_, view->members);
+      fanned += view->members.size();
+    }
+  }
+  obs::Tracer& tr = sys_.tracer();
+  if (tr.enabled() && fanned > 0) {
+    tr.record(sys_.simulator().now(), id_, obs::TracePoint::kRelay,
+              crypto::digest_prefix64(frame.digest()), fanned, relays.size());
   }
 }
 

@@ -51,6 +51,8 @@
 #include "crypto/keys.h"
 #include "group/vgroup_state.h"
 #include "net/network.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "overlay/gossip.h"
 #include "overlay/group_message.h"
 #include "overlay/random_walk.h"
@@ -85,6 +87,15 @@ class AtumSystem {
   const Params& params() const { return params_; }
   Rng& rng() { return rng_; }
 
+  // The system-wide observability surface (ISSUE 9). The registry is
+  // pre-wired at construction: network counters, simulator gauges, the
+  // SHA-256 digest count, and aggregate per-node stats are registered as
+  // polled probes, and every node's SMR engines share the smr.* cells.
+  // The tracer is disabled by default (one branch per would-be event);
+  // tracer().enable(...) turns on message-lifecycle recording.
+  obs::Registry& metrics() { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+
   AtumNode& add_node(NodeId id, NodeBehavior behavior = NodeBehavior::kCorrect);
   AtumNode& node(NodeId id);
   bool has_node(NodeId id) const { return nodes_.contains(id); }
@@ -107,6 +118,8 @@ class AtumSystem {
   net::SimNetwork net_;
   crypto::KeyStore keys_;
   Rng rng_;
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   std::unordered_map<NodeId, std::unique_ptr<AtumNode>> nodes_;
   GroupId next_group_id_ = 1;
 };
@@ -179,7 +192,11 @@ class AtumNode {
   void on_direct(const net::Message& msg);
 
   // --- protocol actions ---
-  void deliver_broadcast(const BroadcastId& id, const net::Payload& payload);
+  // `frame` is the gossip wire frame the broadcast arrived as (the decided
+  // op's encoding on the SMR path) — its digest prefix is the trace key
+  // joining this delivery to every other hop of the same broadcast.
+  void deliver_broadcast(const BroadcastId& id, const net::Payload& payload,
+                         const net::Payload& frame);
   // Relays `frame` (the received kGmGossip group-message body, or the
   // decided broadcast op whose encoding doubles as that frame) verbatim to
   // the chosen neighbor groups: a relaying node never re-encodes the

@@ -54,6 +54,7 @@ struct ClusterSimConfig {
   std::uint64_t seed = 0xc1a5c1a5ULL;
 };
 
+// lint: adhoc-counter-ok(vgroup-granularity model, not wired to a node-level AtumSystem registry)
 struct ClusterSimStats {
   std::uint64_t joins_requested = 0;
   std::uint64_t joins_completed = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace atum::net {
 
 namespace {
@@ -64,6 +66,15 @@ NetworkConfig NetworkConfig::wide_area() {
 SimNetwork::SimNetwork(sim::Simulator& sim, NetworkConfig config, std::uint64_t seed)
     : sim_(sim), config_(std::move(config)), rng_(seed) {
   config_.validate();
+}
+
+void SimNetwork::bind_metrics(obs::Registry& registry) {
+  registry.probe("net.messages_sent", {}, [this] { return stats_.messages_sent; });
+  registry.probe("net.messages_delivered", {}, [this] { return stats_.messages_delivered; });
+  registry.probe("net.messages_dropped", {}, [this] { return stats_.messages_dropped; });
+  registry.probe("net.messages_blocked", {}, [this] { return stats_.messages_blocked; });
+  registry.probe("net.bytes_sent", {}, [this] { return stats_.bytes_sent; });
+  registry.probe("net.flows", {}, [this] { return static_cast<std::uint64_t>(flows_.size()); });
 }
 
 void SimNetwork::attach(NodeId node, MessageHandler handler) {

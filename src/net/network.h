@@ -21,6 +21,10 @@
 #include "net/message.h"
 #include "sim/simulator.h"
 
+namespace atum::obs {
+class Registry;
+}  // namespace atum::obs
+
 namespace atum::net {
 
 struct NetworkConfig {
@@ -51,6 +55,7 @@ struct NetworkConfig {
   void validate() const;
 };
 
+// lint: adhoc-counter-ok(pre-registry struct; exposed via bind_metrics probes)
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -137,6 +142,13 @@ class SimNetwork {
   const NetworkStats& stats() const { return stats_; }
   const NetworkConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
+
+  // Registers the network's counters on `registry` as polled probes
+  // (net.messages_sent, net.messages_delivered, net.messages_dropped,
+  // net.messages_blocked, net.bytes_sent, net.flows): the send/deliver hot
+  // path keeps its plain struct fields, the registry reads them only at
+  // sample() time. The registry must outlive this network.
+  void bind_metrics(obs::Registry& registry);
 
   // Per-node bandwidth-serialization entries currently tracked. Bounded by
   // the nodes with traffic in flight, not by every node ever seen (idle

@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace atum::overlay {
 
 ForwardFn forward_flood() {
@@ -95,9 +97,18 @@ void SendCoalescer::flush() {
       }
       ByteWriter w;
       w.varint(end - i);
+      const bool tracing = tracer_ != nullptr && tracer_->enabled();
       for (std::size_t j = i; j < end; ++j) {
         w.u16(static_cast<std::uint16_t>(frames[j].first));
         w.bytes(frames[j].second.data(), frames[j].second.size());
+        if (tracing && frames[j].second.size() >= 16) {
+          // Group-message wire layout: u64 from_group, u64 seq, body. The
+          // seq IS the broadcast's digest prefix, i.e. the trace key.
+          ByteReader fr(frames[j].second);
+          fr.u64();  // from_group
+          tracer_->record(transport_.simulator().now(), transport_.self(),
+                          obs::TracePoint::kCoalesce, fr.u64(), end - i);
+        }
       }
       transport_.send(dest, net::MsgType::kGroupMsgEnvelope, w.take());
       ++messages_sent_;

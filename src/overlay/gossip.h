@@ -24,6 +24,10 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 
+namespace atum::obs {
+class Tracer;
+}  // namespace atum::obs
+
 namespace atum::overlay {
 
 // A neighbor as seen by the forward callback: which group, reached over
@@ -116,6 +120,12 @@ class SendCoalescer {
   // Frames currently parked awaiting the tick-end flush.
   std::size_t queued() const;
 
+  // Message-lifecycle tracing: frames that leave inside a multi-frame
+  // envelope record a kCoalesce event keyed by the frame's group-message
+  // seq (= the broadcast's digest prefix — see obs/trace.h). Null tracer
+  // or a disabled one costs a single branch at flush.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   net::Transport transport_;
   Rng& rng_;
@@ -123,6 +133,8 @@ class SendCoalescer {
   // send order is then shuffled through rng_ (seeded, reproducible).
   std::map<NodeId, std::vector<std::pair<net::MsgType, net::Payload>>> queue_;
   sim::EventId flush_event_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  // lint: adhoc-counter-ok(pre-registry stats; summed onto the registry by AtumSystem probes)
   std::uint64_t frames_enqueued_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t envelopes_sent_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "overlay/gossip.h"
 
 namespace atum::overlay {
@@ -197,6 +198,10 @@ void GroupMessageReceiver::try_deliver(const GroupMessageId& id, Pending& p) {
     // re-delivered; drop the buffered data now.
     net::Payload payload = std::move(pit->second.first);
     NodeId relay = pit->second.second;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->record(transport_.simulator().now(), transport_.self(), obs::TracePoint::kVouch,
+                      id.seq, vouchers.size(), id.from_group);
+    }
     p.vouches.clear();
     p.payloads.clear();
     p.expires_at = transport_.simulator().now() + tombstone_ttl_;

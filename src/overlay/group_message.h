@@ -32,6 +32,10 @@
 #include "crypto/sha256.h"
 #include "net/network.h"
 
+namespace atum::obs {
+class Tracer;
+}  // namespace atum::obs
+
 namespace atum::overlay {
 
 class SendCoalescer;  // gossip.h
@@ -99,6 +103,10 @@ class GroupMessageReceiver {
 
   void set_group_size_fn(GroupSizeFn fn) { group_size_ = std::move(fn); }
   void set_membership_fn(MembershipFn fn) { membership_ = std::move(fn); }
+  // Message-lifecycle tracing: a kVouch event is recorded once per
+  // delivery (key = id.seq = the broadcast digest prefix, a = voucher
+  // count) at the instant majority vouching completes.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Every pending_ entry expires one epoch of simulated time after its
   // last activity (creation, or delivery), then gets garbage-collected:
@@ -159,6 +167,7 @@ class GroupMessageReceiver {
   DeliverFn deliver_;
   GroupSizeFn group_size_;
   MembershipFn membership_;
+  obs::Tracer* tracer_ = nullptr;
   std::map<GroupMessageId, Pending> pending_;
   DurationMicros tombstone_ttl_ = 60 * kMicrosPerSecond;
   // Candidate GC deadlines in arrival order (an id appears once at

@@ -7,6 +7,7 @@
 
 #include "common/serde.h"
 #include "crypto/sha256.h"
+#include "obs/registry.h"
 #include "overlay/gossip.h"
 
 namespace atum::scenario {
@@ -48,6 +49,18 @@ ScenarioDriver::ScenarioDriver(ScenarioSpec spec)
       sys_->node(id).set_forward(overlay::forward_cycles(spec_.relay_cycles));
     }
   }
+
+  // Telemetry (ISSUE 9): the driver's own workload counters join the
+  // system registry, so time-series sampling reads everything — network,
+  // simulator, SMR, and the scenario workload itself — through one
+  // uniform surface.
+  obs::Registry& reg = sys_->metrics();
+  reg.probe("scenario.broadcasts_sent", {}, [this] { return total_bcasts_sent_; });
+  reg.probe("scenario.deliveries", {}, [this] { return total_deliveries_; });
+  reg.probe("scenario.deliveries_expected", {}, [this] { return total_expected_; });
+  reg.probe("scenario.joined", {},
+            [this] { return static_cast<std::uint64_t>(eligible_receivers()); });
+  if (spec_.trace) sys_->tracer().enable(spec_.trace_ring, spec_.trace_sample);
 }
 
 ScenarioDriver::~ScenarioDriver() = default;
@@ -107,6 +120,7 @@ void ScenarioDriver::on_deliver(NodeId deliverer, TimeMicros now, const net::Pay
     // the full-delivery / heal-recovery trigger).
     if (deliverer >= rec.fresh_cutoff) return;
     ++rec.delivered;
+    ++total_deliveries_;
     PhaseMetrics& pm = metrics_[rec.phase];
     ++pm.deliveries;
     latencies_ms_[rec.phase].add(static_cast<double>(now - sent_at) / 1000.0);
@@ -269,6 +283,8 @@ void ScenarioDriver::send_scenario_broadcast(std::size_t phase_idx) {
   PhaseMetrics& pm = metrics_[phase_idx];
   ++pm.broadcasts_sent;
   pm.deliveries_expected += expected;
+  ++total_bcasts_sent_;
+  total_expected_ += expected;
   sys_->node(*origin).broadcast(
       encode_bcast(index, now, spec_.phases[phase_idx].broadcasts.payload_bytes));
 }
@@ -375,6 +391,78 @@ void ScenarioDriver::schedule_loads(std::size_t phase_idx, TimeMicros start, Tim
 }
 
 // ---------------------------------------------------------------------------
+// Time-series telemetry
+// ---------------------------------------------------------------------------
+
+void ScenarioDriver::sample_time_series() {
+  const obs::Registry& reg = sys_->metrics();
+  sys_->network().sweep_flows();  // exact flow gauge (same sweep as snapshot_phase)
+
+  TimeSeriesPoint p;
+  p.at = sys_->simulator().now();
+
+  const std::uint64_t sent = reg.value("scenario.broadcasts_sent");
+  const std::uint64_t deliveries = reg.value("scenario.deliveries");
+  const std::uint64_t msgs_sent = reg.value("net.messages_sent");
+  const std::uint64_t msgs_delivered = reg.value("net.messages_delivered");
+  const std::uint64_t msgs_dropped = reg.value("net.messages_dropped");
+  const std::uint64_t bytes = reg.value("net.bytes_sent");
+  const std::uint64_t sha = reg.value("crypto.sha256_digests");
+
+  p.broadcasts_sent = sent - ts_base_.sent;
+  p.deliveries = deliveries - ts_base_.deliveries;
+  p.msgs_sent = msgs_sent - ts_base_.msgs_sent;
+  p.msgs_delivered = msgs_delivered - ts_base_.msgs_delivered;
+  p.msgs_dropped = msgs_dropped - ts_base_.msgs_dropped;
+  p.bytes_sent = bytes - ts_base_.bytes;
+  p.sha256_digests = sha - ts_base_.sha;
+
+  // Windowed delivery rate over *settled* broadcasts — records at least
+  // one full interval old, so deliveries still in flight (latency is
+  // milliseconds, the interval is ~seconds) do not read as losses. The
+  // ratio spans the last kRatioWindow settled broadcasts: a single
+  // broadcast's fate is bimodal under a partition (its origin side gets
+  // it, the other side does not), so the trailing window is what turns
+  // the series into a readable ~minority-weighted level. Intervals in
+  // which no broadcast settled carry the previous ratio forward.
+  const TimeMicros settled = p.at - spec_.metrics_interval;
+  bool fresh = false;
+  while (ts_bcast_idx_ < bcasts_.size() && bcasts_[ts_bcast_idx_].sent_at <= settled) {
+    const BcastRecord& rec = bcasts_[ts_bcast_idx_++];
+    ts_window_.emplace_back(rec.expected, rec.delivered);
+    if (ts_window_.size() > kRatioWindow) ts_window_.pop_front();
+    fresh = true;
+  }
+  if (fresh) {
+    std::uint64_t win_expected = 0;
+    std::uint64_t win_delivered = 0;
+    for (const auto& [e, d] : ts_window_) {
+      win_expected += e;
+      win_delivered += d;
+    }
+    if (win_expected > 0) {
+      ts_base_.ratio = static_cast<double>(win_delivered) / static_cast<double>(win_expected);
+    }
+  }
+  p.delivery_ratio = ts_base_.ratio;
+
+  p.joined = reg.value("scenario.joined");
+  p.groups = reg.value("atum.groups");
+  p.live_events = reg.value("sim.live_events");
+  p.slot_count = reg.value("sim.slot_count");
+  p.flows = reg.value("net.flows");
+
+  ts_base_.sent = sent;
+  ts_base_.deliveries = deliveries;
+  ts_base_.msgs_sent = msgs_sent;
+  ts_base_.msgs_delivered = msgs_delivered;
+  ts_base_.msgs_dropped = msgs_dropped;
+  ts_base_.bytes = bytes;
+  ts_base_.sha = sha;
+  series_.push_back(p);
+}
+
+// ---------------------------------------------------------------------------
 // Phase snapshots and the run loop
 // ---------------------------------------------------------------------------
 
@@ -422,6 +510,19 @@ ScenarioReport ScenarioDriver::run() {
   // Bookkeeper: polls join/leave completions once per sim-second.
   sim::PeriodicTimer keeper(sim, seconds(1.0), [this] { poll_pending_ops(); });
 
+  // Registry sampler (spec.metrics_interval): counter floors start at the
+  // post-deploy state so the first interval's deltas cover only the run.
+  std::optional<sim::PeriodicTimer> sampler;
+  if (spec_.metrics_interval > 0) {
+    const obs::Registry& reg = sys_->metrics();
+    ts_base_.msgs_sent = reg.value("net.messages_sent");
+    ts_base_.msgs_delivered = reg.value("net.messages_delivered");
+    ts_base_.msgs_dropped = reg.value("net.messages_dropped");
+    ts_base_.bytes = reg.value("net.bytes_sent");
+    ts_base_.sha = reg.value("crypto.sha256_digests");
+    sampler.emplace(sim, spec_.metrics_interval, [this] { sample_time_series(); });
+  }
+
   for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
     const Phase& ph = spec_.phases[i];
     metrics_[i].name = ph.name;
@@ -436,6 +537,7 @@ ScenarioReport ScenarioDriver::run() {
 
   // Drain: in-flight deliveries/joins complete, attributed to their phases.
   sim.run_until(sim.now() + spec_.drain);
+  if (sampler) sampler->stop();
   keeper.stop();
   poll_pending_ops();
 
@@ -455,6 +557,8 @@ ScenarioReport ScenarioDriver::run() {
   report.seed = spec_.seed;
   report.initial_nodes = spec_.nodes;
   report.phases = metrics_;
+  report.metrics_interval = spec_.metrics_interval;
+  report.time_series = series_;
   report.sim_end = sim.now();
   report.events_executed = sim.executed_events();
   const net::NetworkStats& stats = sys_->network().stats();

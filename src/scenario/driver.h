@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -98,6 +99,14 @@ class ScenarioDriver {
   std::uint32_t eligible_receivers();
   bool eligible(NodeId id);
 
+  // Telemetry (spec.metrics_interval): reads the system's obs::Registry —
+  // the same uniform surface the benches use — and appends one
+  // TimeSeriesPoint of interval deltas + gauges. The driver's own
+  // scenario.* probes (broadcasts sent / deliveries / expected) are
+  // registered at construction so the sampler reads everything, including
+  // its own workload, through the registry.
+  void sample_time_series();
+
   // Phase machinery.
   void apply_one_shots(std::size_t phase_idx);
   void schedule_loads(std::size_t phase_idx, TimeMicros start, TimeMicros end);
@@ -142,6 +151,27 @@ class ScenarioDriver {
   net::NetworkStats net_base_;
   std::uint64_t sha_base_ = 0;
   std::uint64_t sha_start_ = 0;  // process-global counter floor at construction
+
+  // Time-series telemetry state (spec.metrics_interval > 0).
+  std::vector<TimeSeriesPoint> series_;
+  // Previous cumulative registry reads (counters sampled as deltas) plus
+  // the carried-forward delivery ratio for send-free intervals.
+  struct TsBase {
+    std::uint64_t sent = 0, deliveries = 0;
+    std::uint64_t msgs_sent = 0, msgs_delivered = 0, msgs_dropped = 0;
+    std::uint64_t bytes = 0, sha = 0;
+    double ratio = 1.0;
+  } ts_base_;
+  // First bcasts_ record not yet folded into the windowed delivery ratio
+  // (records settle once they are a full interval old), plus the trailing
+  // window of settled (expected, delivered) pairs the ratio spans.
+  static constexpr std::size_t kRatioWindow = 8;
+  std::size_t ts_bcast_idx_ = 0;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> ts_window_;
+  // Run totals backing the scenario.* registry probes.
+  std::uint64_t total_bcasts_sent_ = 0;
+  std::uint64_t total_expected_ = 0;
+  std::uint64_t total_deliveries_ = 0;
 };
 
 }  // namespace atum::scenario

@@ -99,6 +99,29 @@ std::string ScenarioReport::to_json() const {
   j.u64("total_bytes_sent", total_bytes_sent);
   j.u64("total_sha256_digests", total_sha256_digests);
   j.f64("total_delivery_ratio", total_delivery_ratio());
+  if (metrics_interval > 0) {
+    j.f64("metrics_interval_s", to_seconds(metrics_interval));
+    j.open("time_series", '[');
+    for (const TimeSeriesPoint& p : time_series) {
+      j.open(nullptr, '{');
+      j.f64("t_s", to_seconds(p.at));
+      j.f64("delivery_ratio", p.delivery_ratio);
+      j.u64("broadcasts_sent", p.broadcasts_sent);
+      j.u64("deliveries", p.deliveries);
+      j.u64("msgs_sent", p.msgs_sent);
+      j.u64("msgs_delivered", p.msgs_delivered);
+      j.u64("msgs_dropped", p.msgs_dropped);
+      j.u64("bytes_sent", p.bytes_sent);
+      j.u64("sha256_digests", p.sha256_digests);
+      j.u64("joined", p.joined);
+      j.u64("groups", p.groups);
+      j.u64("live_events", p.live_events);
+      j.u64("slot_count", p.slot_count);
+      j.u64("flows", p.flows);
+      j.close('}');
+    }
+    j.close(']');
+  }
   j.open("phases", '[');
   for (const PhaseMetrics& p : phases) {
     j.open(nullptr, '{');

@@ -94,11 +94,43 @@ struct PhaseMetrics {
   }
 };
 
+// One registry sample (spec.metrics_interval): counters as deltas over the
+// interval, gauges as point-in-time reads. delivery_ratio is the windowed
+// scenario-broadcast delivery rate, computed over broadcasts that settled
+// during the interval (sent at least one full interval ago, so in-flight
+// deliveries don't read as losses); intervals in which nothing settled
+// carry the previous ratio forward — a partition therefore reads as a
+// sustained 1.0 -> ~0.5 -> 1.0 dip instead of send-tick noise.
+struct TimeSeriesPoint {
+  TimeMicros at = 0;
+  double delivery_ratio = 1.0;
+  // Interval deltas (registry counters / probes).
+  std::uint64_t broadcasts_sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t sha256_digests = 0;
+  // Point-in-time gauges.
+  std::uint64_t joined = 0;       // eligible correct receivers
+  std::uint64_t groups = 0;       // vgroup count
+  std::uint64_t live_events = 0;  // simulator queue depth
+  std::uint64_t slot_count = 0;   // simulator arena (peak concurrency)
+  std::uint64_t flows = 0;        // network flow table (after exact sweep)
+};
+
 struct ScenarioReport {
   std::string scenario;
   std::uint64_t seed = 0;
   std::uint64_t initial_nodes = 0;
   std::vector<PhaseMetrics> phases;
+
+  // Registry telemetry (empty / 0 unless spec.metrics_interval > 0; the
+  // section is omitted from the JSON entirely when off so pre-telemetry
+  // report baselines stay byte-identical).
+  DurationMicros metrics_interval = 0;
+  std::vector<TimeSeriesPoint> time_series;
 
   // Whole-run summary.
   TimeMicros sim_end = 0;

@@ -26,6 +26,8 @@ void ScenarioSpec::validate() const {
   if (nodes < 2) fail("needs at least 2 nodes");
   if (phases.empty()) fail("needs at least one phase");
   if (drain < 0) fail("negative drain");
+  if (metrics_interval < 0) fail("negative metrics_interval");
+  if (trace_ring == 0) fail("trace_ring must be > 0");
   params.validate();
   net.validate();
   for (std::size_t c : relay_cycles) {

@@ -146,6 +146,20 @@ struct ScenarioSpec {
   std::vector<Phase> phases;
   std::vector<Expectation> expectations;
 
+  // ----- telemetry (ISSUE 9) -----
+  // > 0: sample the system's obs::Registry every interval of sim-time and
+  // emit the samples as the report's `time_series` section (interval
+  // deltas for counters, point-in-time gauges). 0 = off; the report then
+  // serializes exactly as before, so pre-telemetry byte baselines hold.
+  DurationMicros metrics_interval = 0;
+  // Enable message-lifecycle tracing (obs::Tracer) for the whole run; the
+  // CLI dumps the Chrome trace JSON with --trace-out.
+  bool trace = false;
+  // Keep one trace key in N (0/1 = every key) and the per-node ring size;
+  // both bound trace memory under broadcast floods.
+  std::uint64_t trace_sample = 1;
+  std::size_t trace_ring = 4096;
+
   // Throws std::invalid_argument on nonsense (no phases, duplicate phase
   // names, negative rates/durations, fractions outside [0,1], expectations
   // referencing unknown phases, undersized broadcast payloads).

@@ -260,6 +260,7 @@ class Simulator {
   std::uint64_t stale_in_heap_ = 0;
   std::vector<Entry> heap_;  // binary min-heap via std::push_heap/pop_heap
   std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  // lint: adhoc-counter-ok(arena bookkeeping; exposed via the sim.slot_count registry probe)
   std::size_t slot_count_ = 0;  // slots ever minted (peak concurrent live events)
   std::vector<std::uint32_t> free_slots_;
 };

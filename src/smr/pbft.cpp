@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace atum::smr {
 
@@ -50,6 +52,18 @@ PbftSmr::PbftSmr(net::Transport transport, GroupConfig config, crypto::KeyStore&
     for (NodeId n : config_.members) tw.u64(n);
     instance_tag_ = crypto::digest_prefix64(crypto::sha256(tw.data()));
   }
+  if (options_.metrics != nullptr) {
+    obs::Registry& m = *options_.metrics;
+    ctr_pre_prepares_ = &m.counter("smr.pre_prepares");
+    ctr_prepares_ = &m.counter("smr.prepares");
+    ctr_commits_ = &m.counter("smr.commits");
+    ctr_batches_ = &m.counter("smr.batches_executed");
+    ctr_ops_ = &m.counter("smr.ops_decided");
+    ctr_view_changes_ = &m.counter("smr.view_changes");
+    ctr_checkpoints_ = &m.counter("smr.checkpoints_stable");
+    ctr_installs_ = &m.counter("smr.checkpoint_installs");
+    hist_batch_ops_ = &m.histogram("smr.batch_ops");
+  }
   transport_.listen({net::MsgType::kPbftRequest, net::MsgType::kPbftPrePrepare,
                      net::MsgType::kPbftPrepare, net::MsgType::kPbftCommit,
                      net::MsgType::kPbftCheckpoint, net::MsgType::kPbftViewChange,
@@ -69,6 +83,16 @@ void PbftSmr::stop() {
 }
 
 void PbftSmr::set_decide_handler(DecideFn fn) { decide_ = std::move(fn); }
+
+void PbftSmr::trace(obs::TracePoint point, std::uint64_t key, std::uint64_t a,
+                    std::uint64_t b) const {
+  obs::Tracer* t = options_.tracer;
+  if (t == nullptr || !t->enabled()) return;
+  // Transport::simulator() is non-const; a Transport copy carries only the
+  // network pointer and node id, so copying here is free of registrations.
+  net::Transport tp = transport_;
+  t->record(tp.simulator().now(), transport_.self(), point, key, a, b);
+}
 
 bool PbftSmr::faulty_now() const {
   switch (fault_) {
@@ -145,6 +169,9 @@ void PbftSmr::propose(Bytes op) {
   if (fault_ == PbftFaultMode::kSilent) return;
   // Freeze the op once; pending_, the log, and the decide path all share it.
   Request req{RequestId{transport_.self(), ++origin_seq_}, net::Payload(std::move(op))};
+  if (options_.tracer != nullptr && options_.tracer->enabled()) {
+    trace(obs::TracePoint::kPropose, crypto::digest_prefix64(req.op.digest()), req.id.seq);
+  }
 
   ByteWriter w;
   w.u64(req.id.origin);
@@ -287,6 +314,8 @@ void PbftSmr::flush_batch() {
       break;  // one equivocated batch per flush is plenty
     }
 
+    if (ctr_pre_prepares_ != nullptr) ctr_pre_prepares_->inc();
+    trace(obs::TracePoint::kPrePrepare, crypto::digest_prefix64(d), seq, entry.batch.size());
     broadcast(net::MsgType::kPbftPrePrepare, encode(entry.batch));
     maybe_send_prepare(seq);
   }
@@ -360,6 +389,8 @@ void PbftSmr::handle_pre_prepare(const net::Message& msg) {
   w.u64(view);
   w.u64(seq);
   write_digest(w, digest);
+  if (ctr_prepares_ != nullptr) ctr_prepares_->inc();
+  trace(obs::TracePoint::kPrepare, crypto::digest_prefix64(digest), seq, entry.batch.size());
   broadcast(net::MsgType::kPbftPrepare, w.data());
   entry.prepares.insert(transport_.self());
   maybe_send_commit(seq);
@@ -401,6 +432,8 @@ void PbftSmr::maybe_send_commit(std::uint64_t seq) {
   w.u64(view_);
   w.u64(seq);
   write_digest(w, entry.digest);
+  if (ctr_commits_ != nullptr) ctr_commits_->inc();
+  trace(obs::TracePoint::kCommit, crypto::digest_prefix64(entry.digest), seq);
   broadcast(net::MsgType::kPbftCommit, w.data());
   entry.commits.insert(transport_.self());
   try_execute();
@@ -508,6 +541,8 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
   // this record fully accounted.
   fold_record(rec);
   executed_ops_ += fresh_ops;
+  if (ctr_batches_ != nullptr) ctr_batches_->inc();
+  if (hist_batch_ops_ != nullptr) hist_batch_ops_->record(fresh_ops);
   const ExecRecord fired = rec;  // local copy: nested execution below may
                                  // push to / trim the deque under us
   exec_history_.push_back(std::move(rec));
@@ -522,6 +557,10 @@ void PbftSmr::execute_entry(std::uint64_t seq, LogEntry& entry) {
     // batch-mates. The callback (and everything above it) works on the
     // same buffer; the seq argument is the per-op delivery ordinal.
     ++decided_ops_;
+    if (ctr_ops_ != nullptr) ctr_ops_->inc();
+    if (options_.tracer != nullptr && options_.tracer->enabled()) {
+      trace(obs::TracePoint::kDecide, crypto::digest_prefix64(op.op.digest()), seq);
+    }
     if (decide_) decide_(decided_ops_ - 1, op.origin, op.op);
   }
   --exec_depth_;
@@ -640,6 +679,7 @@ void PbftSmr::maybe_stabilize() {
       if (digest == self_it->second) ++matching;
     }
     if (matching >= quorum()) {
+      if (it->first > stable_seq_ && ctr_checkpoints_ != nullptr) ctr_checkpoints_->inc();
       collect_garbage(it->first);
       return;
     }
@@ -905,6 +945,7 @@ void PbftSmr::install_checkpoint(std::uint64_t cseq, const crypto::Digest& state
                                  std::uint64_t ops, RequestLedger ledger, Bytes ledger_wire) {
   const std::uint64_t from_seq = next_exec_;
   const std::uint64_t from_ops = executed_ops_;
+  if (ctr_installs_ != nullptr) ctr_installs_->inc();
   next_exec_ = cseq;
   exec_base_ = cseq;
   exec_history_.clear();
@@ -1241,6 +1282,7 @@ void PbftSmr::enter_view(std::uint64_t v, const std::vector<PreparedProof>& carr
   target_view_ = v;
   view_changing_ = false;
   ++view_changes_completed_;
+  if (ctr_view_changes_ != nullptr) ctr_view_changes_->inc();
   current_timeout_ = options_.view_change_timeout;
   disarm_view_timer();
   // A batch buffered while we were primary of a dead view was never

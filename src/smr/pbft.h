@@ -75,6 +75,14 @@
 #include "sim/simulator.h"
 #include "smr/smr.h"
 
+namespace atum::obs {
+class Registry;
+class Tracer;
+class Counter;
+class Histogram;
+enum class TracePoint : std::uint8_t;
+}  // namespace atum::obs
+
 namespace atum::smr {
 
 struct PbftOptions {
@@ -97,6 +105,13 @@ struct PbftOptions {
   // it from the config-history epoch hash, so two non-adjacent epochs with
   // identical membership (A -> B -> A) can never share a tag.
   std::uint64_t instance_tag = 0;
+  // Observability sinks (nullable = off). The registry cells are shared
+  // across every engine wired to the same registry — system-wide SMR
+  // totals that survive per-epoch engine turnover. The tracer records the
+  // propose -> pre-prepare -> prepare -> commit -> decide lifecycle keyed
+  // by op/batch digest prefixes (see obs/trace.h on keyspaces).
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 enum class PbftFaultMode {
@@ -315,6 +330,10 @@ class PbftSmr final : public SmrEngine {
   }
   bool faulty_now() const;
 
+  // Tracing helper: no-op unless options_.tracer is enabled.
+  void trace(obs::TracePoint point, std::uint64_t key, std::uint64_t a = 0,
+             std::uint64_t b = 0) const;
+
   net::Transport transport_;
   GroupConfig config_;
   crypto::KeyStore& keys_;
@@ -322,6 +341,19 @@ class PbftSmr final : public SmrEngine {
   PbftFaultMode fault_;
   DecideFn decide_;
   InstallFn install_;
+
+  // Registry cells cached at construction (registration locks once; the
+  // increments are lock-free). Null when no registry is wired.
+  // lint: adhoc-counter-ok(these ARE the obs::Registry cells)
+  obs::Counter* ctr_pre_prepares_ = nullptr;
+  obs::Counter* ctr_prepares_ = nullptr;
+  obs::Counter* ctr_commits_ = nullptr;
+  obs::Counter* ctr_batches_ = nullptr;
+  obs::Counter* ctr_ops_ = nullptr;
+  obs::Counter* ctr_view_changes_ = nullptr;
+  obs::Counter* ctr_checkpoints_ = nullptr;
+  obs::Counter* ctr_installs_ = nullptr;
+  obs::Histogram* hist_batch_ops_ = nullptr;
 
   std::uint64_t view_ = 0;
   std::uint64_t next_seq_ = 1;       // primary's next assignment

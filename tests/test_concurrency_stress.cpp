@@ -11,12 +11,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/serde.h"
 #include "crypto/sha256.h"
 #include "net/message.h"
+#include "obs/registry.h"
 
 namespace atum::net {
 namespace {
@@ -221,6 +223,59 @@ TEST(ConcurrencyStress, DigestCountExactUnderConcurrentHashing) {
   for (auto& w : workers) w.join();
   EXPECT_EQ(crypto::sha256_digest_count() - before,
             static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// One obs::Registry hammered from N threads: half the threads bump cells
+// they registered up front (the cached-pointer hot path), half keep
+// re-registering the same names (the locked path) while a sampler thread
+// snapshots continuously. Counter totals must come out exact and every
+// re-registration must return the same stable cell address — a racy map
+// rebuild or a moved cell would both trip TSan and break the totals.
+TEST(ConcurrencyStress, ObsRegistryCountersExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  obs::Registry reg;
+  obs::Counter& shared = reg.counter("stress.shared");
+  obs::Histogram& hist = reg.histogram("stress.hist");
+
+  std::vector<std::thread> workers;
+  std::atomic<int> address_mismatches{0};
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      obs::Counter& mine =
+          reg.counter("stress.per_thread", {{"t", std::to_string(t)}});
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          shared.inc();
+          mine.inc();
+        } else {
+          // Locked path: re-registration must hand back the same cells.
+          if (&reg.counter("stress.shared") != &shared ||
+              &reg.counter("stress.per_thread", {{"t", std::to_string(t)}}) != &mine) {
+            address_mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          shared.inc();
+          mine.inc();
+        }
+        hist.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  // Sampler thread: concurrent snapshots must never crash or deadlock;
+  // values are monotone so any snapshot is internally consistent.
+  workers.emplace_back([&reg] {
+    for (int i = 0; i < 200; ++i) (void)reg.sample(i);
+  });
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(address_mismatches.load(), 0);
+  EXPECT_EQ(reg.value("stress.shared"), static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.value("stress.per_thread", {{"t", std::to_string(t)}}),
+              static_cast<std::uint64_t>(kIters));
+  }
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 }  // namespace

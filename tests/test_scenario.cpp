@@ -6,6 +6,8 @@
 // flipping live behavior).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "scenario/driver.h"
 #include "scenario/presets.h"
 #include "scenario/report.h"
@@ -245,6 +247,75 @@ TEST(ScenarioDriverTest, StreamLoadDeliversChunksAndBoundsStores) {
   const PhaseMetrics& p = r.phases[0];
   EXPECT_GT(p.stream_chunks_sent, 20u);
   EXPECT_GE(p.stream_ratio(), 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry (ISSUE 9): time_series sampling + tracing stay byte-deterministic
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioTelemetryTest, TimeSeriesAndTraceAreByteIdenticalAcrossRuns) {
+  auto make = [] {
+    ScenarioSpec s = make_preset("partition_heal", 90, 4242);
+    for (Phase& ph : s.phases) ph.duration = seconds(15.0);
+    s.drain = seconds(10.0);
+    s.metrics_interval = seconds(1.0);
+    s.trace = true;
+    s.trace_ring = 512;
+    return s;
+  };
+  ScenarioDriver da(make());
+  std::string ja = da.run().to_json();
+  std::string ta = da.system().tracer().to_chrome_json();
+  ScenarioDriver db(make());
+  std::string jb = db.run().to_json();
+  std::string tb = db.system().tracer().to_chrome_json();
+  EXPECT_EQ(ja, jb);
+  EXPECT_EQ(ta, tb);
+  EXPECT_NE(ja.find("\"time_series\":["), std::string::npos);
+  EXPECT_NE(ta.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(ta.find("\"atum_summary\""), std::string::npos);
+}
+
+TEST(ScenarioTelemetryTest, TimeSeriesShowsThePartitionDip) {
+  ScenarioSpec s = make_preset("partition_heal", 90, 77);
+  for (Phase& ph : s.phases) ph.duration = seconds(20.0);
+  // The delivery ratio is smoothed over a trailing window of settled
+  // broadcasts; the heal phase must outlast that window (8 broadcasts at
+  // the preset send rate) so the final points are all post-heal.
+  s.phases.back().duration = seconds(40.0);
+  s.drain = seconds(10.0);
+  s.metrics_interval = seconds(1.0);
+  ScenarioDriver driver(s);
+  ScenarioReport r = driver.run();
+  ASSERT_FALSE(r.time_series.empty());
+  // One point per interval across phases + drain.
+  EXPECT_GE(r.time_series.size(), 60u);
+  const PhaseMetrics* part = r.phase("partition");
+  ASSERT_NE(part, nullptr);
+  double min_baseline = 1.0;
+  double min_partition = 1.0;
+  double last = 0.0;
+  for (const TimeSeriesPoint& p : r.time_series) {
+    if (p.at <= part->start) min_baseline = std::min(min_baseline, p.delivery_ratio);
+    if (p.at > part->start && p.at <= part->end) {
+      min_partition = std::min(min_partition, p.delivery_ratio);
+    }
+    last = p.delivery_ratio;
+  }
+  EXPECT_GT(min_baseline, 0.95);       // level before the cut
+  EXPECT_LT(min_partition, 0.85);      // visible dip during the partition
+  EXPECT_GT(last, 0.95);               // recovered by the end of the drain
+  // Gauges are populated, not zero-filled.
+  EXPECT_GT(r.time_series.back().joined, 0u);
+  EXPECT_GT(r.time_series.back().groups, 0u);
+}
+
+TEST(ScenarioTelemetryTest, TelemetryOffOmitsTheSectionAndFieldsStayEmpty) {
+  ScenarioSpec s = small_spec(60, 29);
+  s.phases = {bcast_phase("only")};
+  ScenarioReport r = ScenarioDriver(s).run();
+  EXPECT_TRUE(r.time_series.empty());
+  EXPECT_EQ(r.to_json().find("time_series"), std::string::npos);
 }
 
 TEST(ScenarioReportTest, CheckFlagsViolations) {

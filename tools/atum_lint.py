@@ -10,9 +10,12 @@ full rationale):
   nondeterminism   Wall clocks and unseeded entropy are banned in src/
                    outside common/rng.cpp: every draw must flow from a
                    seeded atum::Rng, every timestamp from sim::Simulator.
-                   Tokens: std::rand/srand/time()/clock(), system_clock,
-                   steady_clock, high_resolution_clock, random_device,
-                   mt19937, default_random_engine.
+                   Tokens: std::rand/srand/time()/clock(), clock_gettime,
+                   gettimeofday, system_clock, steady_clock,
+                   high_resolution_clock, random_device, mt19937,
+                   default_random_engine. This also enforces the src/obs/
+                   wall-clock ban: observability samples are stamped with
+                   caller-supplied sim-time only.
 
   banned-include   <random>, <ctime>, <chrono> in src/ (outside common/rng.*)
                    — the headers behind the tokens above. Sim time is
@@ -27,6 +30,14 @@ full rationale):
                    container) or carry an explicit audit annotation:
                        // lint: unordered-iter-ok(<why order cannot leak>)
                    on the loop line or the line above.
+
+  adhoc-counter    New `*_count_` members or `struct FooStats` declarations
+                   in the obs-instrumented layers (src/{net,overlay,smr,
+                   core,sim,group,apps}). Those layers expose their metrics
+                   through the one obs::Registry surface (ISSUE 9); a fresh
+                   ad-hoc counter silently forks it. Pre-registry counters
+                   that the registry polls via probes carry:
+                       // lint: adhoc-counter-ok(<how the registry sees it>)
 
   std-function     std::function in src/sim/ and src/net/ — the layers
                    whose per-event/per-message paths must stay
@@ -183,6 +194,8 @@ NONDET_TOKENS = [
     (re.compile(r"\bstd::rand\b|[^:\w]rand\s*\(|\bsrand\s*\("), "C rand()"),
     (re.compile(r"[^:\w_]time\s*\(\s*(NULL|nullptr|0)?\s*\)"), "wall-clock time()"),
     (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
     (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
     (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock"),
     (re.compile(r"\bhigh_resolution_clock\b"), "std::chrono::high_resolution_clock"),
@@ -207,6 +220,15 @@ BEGIN_ITER_RE = re.compile(r"([\w.\->]+)\.(?:begin|cbegin)\s*\(\s*\)")
 STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\s*<")
 HOT_DIRS_RE = re.compile(r"(^|/)(sim|net)/")
 
+# adhoc-counter: layers already migrated onto obs::Registry (ISSUE 9). A
+# fresh `*_count_` member or `struct FooStats` there is a new metrics
+# surface bypassing the registry.
+INSTRUMENTED_DIRS_RE = re.compile(r"(^|/)(net|overlay|smr|core|sim|group|apps)/")
+ADHOC_COUNTER_MEMBER_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(?:u?int(?:8|16|32|64)_t|size_t|unsigned|long|int)\s+"
+    r"\w*counts?_\s*(?:=|;|\{)")
+ADHOC_STATS_STRUCT_RE = re.compile(r"\bstruct\s+\w*Stats\b")
+
 NAKED_NEW_RE = re.compile(r"(?<![:\w])new\b(?!\s*\()")  # `new T`, not placement `new (buf) T`
 PLACEMENT_NEW_RE = re.compile(r"(?<![:\w])new\s*\(")
 MALLOC_RE = re.compile(r"\b(malloc|calloc|realloc|aligned_alloc|free)\s*\(")
@@ -218,6 +240,7 @@ def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
     path = src.path
     exempt_rng = bool(RNG_EXEMPT.search(path))
     hot_layer = bool(HOT_DIRS_RE.search(path))
+    instrumented = bool(INSTRUMENTED_DIRS_RE.search(path))
 
     for lineno, line in enumerate(src.lines, start=1):
         if not exempt_rng:
@@ -249,6 +272,16 @@ def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
                     f"iteration over unordered container '{base}' leaks hash-bucket "
                     f"order; sort the output, use an ordered container, or annotate "
                     f"// lint: unordered-iter-ok(reason) after auditing"))
+
+        if instrumented \
+                and (ADHOC_COUNTER_MEMBER_RE.search(line) or ADHOC_STATS_STRUCT_RE.search(line)) \
+                and not src.annotated(lineno, "adhoc-counter"):
+            findings.append(Finding(
+                "adhoc-counter", path, lineno,
+                "new ad-hoc counter/stats surface in an obs-instrumented layer; "
+                "register an obs::Registry counter/probe (src/obs/) so the one "
+                "uniform metrics surface stays complete, or annotate "
+                "// lint: adhoc-counter-ok(reason)"))
 
         if hot_layer and STD_FUNCTION_RE.search(line) and not src.annotated(lineno, "std-function"):
             findings.append(Finding(
@@ -362,6 +395,23 @@ FIXTURES = [
      "void f() { for (const auto& [k, v] : sorted_) { report(k); } }\n",
      None),
 
+    ("clock_gettime_fails", "src/obs/a.cpp",
+     "struct timespec ts; clock_gettime(CLOCK_MONOTONIC, &ts);\n", "nondeterminism"),
+    ("gettimeofday_fails", "src/obs/a.cpp",
+     "struct timeval tv; gettimeofday(&tv, nullptr);\n", "nondeterminism"),
+
+    ("adhoc_count_member_fails", "src/overlay/a.h",
+     "class C { std::uint64_t relay_count_ = 0; };\n", "adhoc-counter"),
+    ("adhoc_stats_struct_fails", "src/smr/a.h",
+     "struct ReplicaStats { std::uint64_t commits = 0; };\n", "adhoc-counter"),
+    ("adhoc_annotated_ok", "src/net/a.h",
+     "// lint: adhoc-counter-ok(polled by bind_metrics probes)\n"
+     "struct LinkStats { std::uint64_t drops = 0; };\n", None),
+    ("adhoc_outside_instrumented_ok", "src/scenario/a.h",
+     "struct PhaseStats { std::uint64_t sent = 0; };\n", None),
+    ("adhoc_plain_member_ok", "src/overlay/a.h",
+     "class C { std::uint64_t next_seq_ = 0; };\n", None),
+
     ("std_function_in_sim_fails", "src/sim/a.h",
      "std::function<void()> cb_;\n", "std-function"),
     ("std_function_in_net_fails", "src/net/a.h",
@@ -424,7 +474,8 @@ def main(argv: list[str]) -> int:
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        print("nondeterminism banned-include unordered-iter std-function naked-new reinterpret-cast")
+        print("nondeterminism banned-include unordered-iter adhoc-counter "
+              "std-function naked-new reinterpret-cast")
         return 0
     if args.self_test:
         return self_test()

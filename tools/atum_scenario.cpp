@@ -2,17 +2,29 @@
 //
 //   atum_scenario --list
 //   atum_scenario <preset> [--nodes N] [--seed S] [--out FILE] [--assert]
+//                 [--metrics-interval DUR] [--trace-out FILE]
+//                 [--trace-sample N] [--trace-ring N]
 //
 // Runs a built-in preset against a real node-level AtumSystem and emits the
 // deterministic JSON metrics report (stdout, or FILE with --out). With
 // --assert, the preset's built-in expectations are evaluated and violations
 // exit non-zero — CI smokes presets exactly this way. Same preset + same
 // seed => byte-identical report.
+//
+// Telemetry (ISSUE 9): --metrics-interval samples the system's metrics
+// registry every DUR of sim-time ("1s", "500ms", "250000us"; bare numbers
+// are seconds) into the report's time_series section. --trace-out enables
+// message-lifecycle tracing and writes Chrome trace-event JSON (load it in
+// Perfetto / chrome://tracing); --trace-sample keeps one trace key in N and
+// --trace-ring bounds the per-node event ring. Telemetry is deterministic:
+// same preset + seed => byte-identical report AND trace. All flags accept
+// both `--flag value` and `--flag=value`.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/trace.h"
 #include "scenario/driver.h"
 #include "scenario/presets.h"
 
@@ -21,9 +33,43 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list\n"
-               "       %s <preset> [--nodes N] [--seed S] [--out FILE] [--assert]\n",
+               "       %s <preset> [--nodes N] [--seed S] [--out FILE] [--assert]\n"
+               "          [--metrics-interval DUR] [--trace-out FILE]\n"
+               "          [--trace-sample N] [--trace-ring N]\n",
                argv0, argv0);
   return 2;
+}
+
+// "1s" / "500ms" / "250000us" / bare seconds. Exits on nonsense.
+atum::DurationMicros parse_duration(const std::string& s, const char* flag) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  std::string unit = end == nullptr ? "" : std::string(end);
+  double scale = 0.0;
+  if (unit.empty() || unit == "s") {
+    scale = 1e6;
+  } else if (unit == "ms") {
+    scale = 1e3;
+  } else if (unit == "us") {
+    scale = 1.0;
+  }
+  if (end == s.c_str() || scale == 0.0 || v < 0.0) {
+    std::fprintf(stderr, "%s: bad duration '%s' (want e.g. 1s, 500ms, 250000us)\n", flag,
+                 s.c_str());
+    std::exit(2);
+  }
+  return static_cast<atum::DurationMicros>(v * scale);
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 }  // namespace
@@ -44,22 +90,45 @@ int main(int argc, char** argv) {
   std::size_t nodes = 0;
   std::uint64_t seed = 0;
   std::string out_path;
+  std::string trace_path;
+  DurationMicros metrics_interval = 0;
+  std::uint64_t trace_sample = 1;
+  std::size_t trace_ring = 4096;
   bool check = false;
   for (int i = 2; i < argc; ++i) {
-    auto value = [&](const char* flag) -> const char* {
+    // Both spellings: `--flag value` and `--flag=value`.
+    std::string arg = argv[i];
+    std::string flag = arg;
+    std::string inline_val;
+    bool has_inline = false;
+    if (std::size_t eq = arg.find('='); eq != std::string::npos) {
+      flag = arg.substr(0, eq);
+      inline_val = arg.substr(eq + 1);
+      has_inline = true;
+    }
+    auto value = [&]() -> std::string {
+      if (has_inline) return inline_val;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::fprintf(stderr, "%s needs a value\n", flag.c_str());
         std::exit(2);
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--nodes") == 0) {
-      nodes = static_cast<std::size_t>(std::strtoull(value("--nodes"), nullptr, 10));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = std::strtoull(value("--seed"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      out_path = value("--out");
-    } else if (std::strcmp(argv[i], "--assert") == 0) {
+    if (flag == "--nodes") {
+      nodes = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
+    } else if (flag == "--seed") {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--out") {
+      out_path = value();
+    } else if (flag == "--metrics-interval") {
+      metrics_interval = parse_duration(value(), "--metrics-interval");
+    } else if (flag == "--trace-out") {
+      trace_path = value();
+    } else if (flag == "--trace-sample") {
+      trace_sample = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--trace-ring") {
+      trace_ring = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 10));
+    } else if (flag == "--assert" && !has_inline) {
       check = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
@@ -74,6 +143,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\nrun %s --list for the catalogue\n", e.what(), argv[0]);
     return 2;
   }
+  spec.metrics_interval = metrics_interval;
+  spec.trace = !trace_path.empty();
+  spec.trace_sample = trace_sample;
+  spec.trace_ring = trace_ring;
 
   std::fprintf(stderr, "scenario %s: %zu nodes, seed %llu, %zu phases\n", spec.name.c_str(),
                spec.nodes, static_cast<unsigned long long>(spec.seed), spec.phases.size());
@@ -84,14 +157,16 @@ int main(int argc, char** argv) {
   if (out_path.empty()) {
     std::fwrite(json.data(), 1, json.size(), stdout);
   } else {
-    std::FILE* f = std::fopen(out_path.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-      return 1;
-    }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+    if (!write_file(out_path, json)) return 1;
     std::fprintf(stderr, "report written to %s\n", out_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const obs::Tracer& tracer = driver.system().tracer();
+    if (!write_file(trace_path, tracer.to_chrome_json())) return 1;
+    std::fprintf(stderr, "trace written to %s (%llu events recorded, %zu retained)\n",
+                 trace_path.c_str(), static_cast<unsigned long long>(tracer.recorded()),
+                 tracer.retained());
   }
 
   for (const auto& p : report.phases) {
