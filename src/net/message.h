@@ -82,6 +82,7 @@ class Payload {
   Payload() : data_(empty_buffer()) {}
   // Implicit: freezes the bytes (one copy/move — the last one this buffer
   // will ever see).
+  // lint: hot-path-alloc-ok(frame control block: one refcounted allocation per adopted buffer)
   Payload(Bytes bytes) : data_(std::make_shared<Frame>(std::move(bytes))) {
     size_ = data_->bytes.size();
   }
@@ -189,6 +190,7 @@ class Payload {
   };
 
   static const std::shared_ptr<Frame>& empty_buffer() {
+    // lint: hot-path-alloc-ok(function-local static: allocated once per process, not per call)
     static const std::shared_ptr<Frame> kEmpty = std::make_shared<Frame>(Bytes{});
     return kEmpty;
   }

@@ -105,7 +105,9 @@ void SendCoalescer::flush() {
           // Group-message wire layout: u64 from_group, u64 seq, body. The
           // seq IS the broadcast's digest prefix, i.e. the trace key.
           ByteReader fr(frames[j].second);
+          // lint: handler-serde-safety-ok(locally-built frame; the size()>=16 gate covers both u64 reads)
           fr.u64();  // from_group
+          // lint: handler-serde-safety-ok(locally-built frame; the size()>=16 gate covers both u64 reads)
           tracer_->record(transport_.simulator().now(), transport_.self(),
                           obs::TracePoint::kCoalesce, fr.u64(), end - i);
         }

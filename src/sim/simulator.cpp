@@ -20,6 +20,7 @@ EventId Simulator::schedule_at(TimeMicros t, EventFn fn) {
   } else {
     idx = static_cast<std::uint32_t>(slot_count_);
     if ((slot_count_ & kSlotChunkMask) == 0) {
+      // lint: hot-path-alloc-ok(amortized arena growth: one chunk per kSlotChunkSize slots, never freed)
       slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
     }
     ++slot_count_;

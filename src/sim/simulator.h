@@ -64,7 +64,7 @@ class EventFn {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
       ops_ = inline_ops<Fn>();
     } else {
-      // lint: naked-new-ok(SBO heap fallback; owned via ops_->destroy)
+      // lint: naked-new-ok(SBO heap fallback; owned via ops_->destroy) // lint: hot-path-alloc-ok(SBO miss only: schedule-path callables stay inline)
       ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = heap_ops<Fn>();
     }

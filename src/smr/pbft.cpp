@@ -501,15 +501,18 @@ void PbftSmr::maybe_fetch_missing_head() {
   // makes every correct replier's bytes identical, so the f+1-matching
   // acceptance rule can fire. Up to f of those asked may be faulty or
   // equally behind; enough matching replies can still form.
+  // Freeze the request once: every recipient gets the same frame, so the
+  // 2f+1 fan-out shares one buffer instead of copying the bytes per peer.
+  ByteWriter w;
+  w.u64(instance_tag_);
+  w.u64(next_exec_);
+  w.u64(anchor);
+  const net::Payload frame(w.take());
   std::size_t asked = 0;
   for (NodeId node : config_.members) {
     if (node == transport_.self()) continue;
     if (asked++ >= 2 * max_faults() + 1) break;
-    ByteWriter w;
-    w.u64(instance_tag_);
-    w.u64(next_exec_);
-    w.u64(anchor);
-    transport_.send(node, net::MsgType::kPbftStateFetch, w.data());
+    transport_.send(node, net::MsgType::kPbftStateFetch, frame);
   }
 }
 
@@ -732,7 +735,7 @@ void PbftSmr::request_state_transfer() {
       w.u64(instance_tag_);
       w.u64(next_exec_);
       w.u64(0);  // no range cap: validated against the vouched checkpoint
-      transport_.send(node, net::MsgType::kPbftStateFetch, w.data());
+      transport_.send(node, net::MsgType::kPbftStateFetch, w.take());
       return;  // one fetch at a time; retried on the next checkpoint signal
     }
   }
@@ -760,7 +763,7 @@ void PbftSmr::handle_state_fetch(const net::Message& msg) {
     for (std::uint64_t s = from_seq + 1; s <= end; ++s) {
       encode_exec_record(w, exec_history_[static_cast<std::size_t>(s - exec_base_ - 1)]);
     }
-    transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
+    transport_.send(msg.from, net::MsgType::kPbftStateReply, w.take());
     return;
   }
   // The requested range predates our truncation point — those records are
@@ -778,7 +781,7 @@ void PbftSmr::handle_state_fetch(const net::Message& msg) {
   w.bytes(stable_ckpt_->ledger_wire.data(), stable_ckpt_->ledger_wire.size());
   w.varint(exec_history_.size());  // head records: (stable, next_exec_]
   for (const ExecRecord& rec : exec_history_) encode_exec_record(w, rec);
-  transport_.send(msg.from, net::MsgType::kPbftStateReply, w.data());
+  transport_.send(msg.from, net::MsgType::kPbftStateReply, w.take());
 }
 
 std::vector<PbftSmr::ExecRecord> PbftSmr::parse_exec_records(const net::Message& msg,
@@ -1383,6 +1386,7 @@ void PbftSmr::on_message(const net::Message& raw) {
   net::Message msg = raw;
   {
     ByteReader r(raw.payload);
+    // lint: handler-serde-safety-ok(8-byte read is gated by the size()<8 early return above)
     if (r.u64() != instance_tag_) return;
     msg.payload = raw.payload.slice(
         std::span<const std::uint8_t>(raw.payload.data() + 8, raw.payload.size() - 8));

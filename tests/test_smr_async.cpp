@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/serde.h"
@@ -197,6 +198,67 @@ TEST(Pbft, LaggingReplicaCatchesUpViaStateTransfer) {
   // Prefix consistency: everything replica 3 delivered matches replica 0.
   for (std::size_t i = 0; i < g.decided[3].size(); ++i) {
     EXPECT_EQ(g.decided[3][i], g.decided[0][i]) << "divergence at " << i;
+  }
+}
+
+TEST(Pbft, StateFetchFanOutSharesOneFrame) {
+  // The head-fetch round asks 2f+1 peers with byte-identical requests; the
+  // request must be frozen once and the sends share that buffer instead of
+  // deep-copying the writer per peer. Intercept kPbftStateFetch at the
+  // receivers (the typed handler replaces the replica's own, so fetches are
+  // recorded and swallowed — the fan-out itself is driven by checkpoint
+  // evidence, which still flows) and require that byte-identical requests
+  // landing at different peers alias one frame.
+  PbftOptions opt;
+  opt.checkpoint_interval = 4;
+  opt.watermark_window = 16;
+  opt.view_change_timeout = millis(500);
+  AsyncGroup g(4, opt);
+
+  // Per request content — identified by the decoded (from_seq, anchor)
+  // pair; the instance tag is constant — the distinct buffer addresses seen
+  // and the number of deliveries. Head-fetch requests are 24 bytes (tag,
+  // from, anchor) with anchor != 0; single-peer fetches (anchor == 0) are
+  // skipped — they carry one frozen frame by construction and prove
+  // nothing about fan-out.
+  struct Seen {
+    std::set<const std::uint8_t*> buffers;
+    std::size_t deliveries = 0;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Seen> head_fetches;
+  for (NodeId n = 0; n < 3; ++n) {
+    g.net.attach(n, net::MsgType::kPbftStateFetch, [&](const net::Message& msg) {
+      if (msg.payload.size() != 24) return;
+      ByteReader r(msg.payload);
+      r.u64();  // instance tag
+      std::uint64_t from_seq = r.u64();
+      std::uint64_t anchor = r.u64();
+      if (anchor != 0) {
+        Seen& s = head_fetches[{from_seq, anchor}];
+        s.buffers.insert(msg.payload.data());
+        ++s.deliveries;
+      }
+    });
+  }
+
+  g.net.isolate(3, true);
+  for (int i = 0; i < 12; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(10));
+  g.net.isolate(3, false);
+  // More traffic produces the checkpoint evidence that tells replica 3 it
+  // is behind; it then fans the pinned-range head fetch out to 2f+1 peers.
+  for (int i = 12; i < 24; ++i) g.at(0).propose(op_bytes("op" + std::to_string(i)));
+  g.run_for(seconds(30));
+
+  ASSERT_FALSE(head_fetches.empty()) << "catch-up should have fanned a head fetch out";
+  for (const auto& [content, seen] : head_fetches) {
+    ASSERT_GE(seen.deliveries, 3u) << "head fetch should reach 2f+1 = 3 peers";
+    // Every peer of one round must alias the round's single frozen frame,
+    // so across R rounds there are 3R deliveries but at most R buffers.
+    // Per-send deep copies would make the two counts equal.
+    EXPECT_LT(seen.buffers.size(), seen.deliveries)
+        << "a head-fetch request was deep-copied per peer instead of "
+        << "sharing one frozen frame across the fan-out";
   }
 }
 

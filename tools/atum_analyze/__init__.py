@@ -1,0 +1,6 @@
+"""atum_analyze: libclang-based semantic analyzer for the Atum tree.
+
+Run as `python3 tools/atum_analyze/__main__.py` (or `python3 -m
+atum_analyze` from tools/). See __main__.py for the CLI and
+ARCHITECTURE.md "Correctness tooling" for the rules.
+"""

@@ -1,0 +1,163 @@
+"""atum_analyze CLI.
+
+Usage:
+  python3 tools/atum_analyze/__main__.py [paths...] [-p BUILD_DIR] [options]
+
+  paths              Source prefixes to analyze (default: src). Matched
+                     against the `file` entries of compile_commands.json.
+  -p/--build-dir     Directory containing compile_commands.json
+                     (default: build).
+  --compile-commands Explicit path to a compile_commands.json.
+  --rules R1,R2      Run a subset of rules (default: all four).
+  --out FILE         Also write findings to FILE (CI uploads this as an
+                     artifact on failure).
+  --self-test        Run the fixture corpus instead of analyzing the repo.
+  --probe            Exit 0 if libclang is usable, 3 otherwise (used by
+                     CMake to decide whether atum_lint needs --legacy).
+  --list-rules       Print the rule names and exit.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error, 3 skipped
+(no usable libclang — the printed marker ATUM_ANALYZE_SKIP lets ctest
+turn this into a SKIPPED result rather than a failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine  # noqa: E402
+import rules as rules_mod  # noqa: E402
+import suppress  # noqa: E402
+
+SKIP_MARKER = "ATUM_ANALYZE_SKIP"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+EXIT_SKIP = 3
+
+
+def repo_root():
+    return os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+    )
+
+
+def parse_argv(argv):
+    parser = argparse.ArgumentParser(
+        prog="atum_analyze", description="libclang semantic analyzer for Atum"
+    )
+    parser.add_argument("paths", nargs="*", default=[], help="source path prefixes")
+    parser.add_argument("-p", "--build-dir", default="build")
+    parser.add_argument("--compile-commands", default=None)
+    parser.add_argument("--rules", default=",".join(rules_mod.ALL_RULES))
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("--probe", action="store_true")
+    parser.add_argument("--list-rules", action="store_true")
+    return parser.parse_args(argv)
+
+
+def resolve_rules(spec):
+    requested = [r.strip() for r in spec.split(",") if r.strip()]
+    unknown = [r for r in requested if r not in rules_mod.ALL_RULES]
+    if unknown:
+        raise ValueError(
+            "unknown rule(s): %s (known: %s)"
+            % (", ".join(unknown), ", ".join(rules_mod.ALL_RULES))
+        )
+    return requested
+
+
+def main(argv=None):
+    opts = parse_argv(sys.argv[1:] if argv is None else argv)
+
+    if opts.list_rules:
+        for rule in rules_mod.ALL_RULES:
+            print(rule)
+        return EXIT_CLEAN
+
+    try:
+        active_rules = resolve_rules(opts.rules)
+    except ValueError as exc:
+        print("atum_analyze: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    cindex, reason = engine.find_libclang()
+
+    if opts.probe:
+        if cindex is None:
+            print("%s: %s" % (SKIP_MARKER, reason))
+            return EXIT_SKIP
+        print("libclang OK")
+        return EXIT_CLEAN
+
+    if cindex is None:
+        print(
+            "%s: %s — analyzer skipped (CI runs it with pinned libclang-14; "
+            "atum_lint --legacy keeps the regex fallback active locally)"
+            % (SKIP_MARKER, reason)
+        )
+        return EXIT_SKIP
+
+    if opts.self_test:
+        import selftest
+
+        return selftest.run(cindex)
+
+    root = repo_root()
+    cc_path = opts.compile_commands or os.path.join(
+        opts.build_dir, "compile_commands.json"
+    )
+    try:
+        commands = engine.load_compile_commands(cc_path)
+    except (FileNotFoundError, ValueError) as exc:
+        print("atum_analyze: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    prefixes = [
+        os.path.realpath(p if os.path.isabs(p) else os.path.join(root, p))
+        for p in (opts.paths or ["src"])
+    ]
+
+    def path_filter(source):
+        real = os.path.realpath(source)
+        return any(real == p or real.startswith(p + os.sep) for p in prefixes)
+
+    model = engine.build_model(cindex, commands, root, path_filter)
+    findings, suppressed = rules_mod.run_rules(
+        model, suppress.Suppressions(), active_rules
+    )
+
+    lines = [f.render() for f in findings]
+    for source, message in model.parse_errors:
+        lines.append("%s: [parse-error] %s" % (source, message))
+
+    report = "\n".join(lines)
+    if report:
+        print(report)
+    if opts.out:
+        with open(opts.out, "w", encoding="utf-8") as fh:
+            fh.write(report + ("\n" if report else ""))
+
+    status = "clean" if not findings and not model.parse_errors else "FAILED"
+    print(
+        "atum_analyze: %d finding(s), %d suppressed, %d parse error(s), "
+        "%d function(s) indexed — %s"
+        % (
+            len(findings),
+            suppressed,
+            len(model.parse_errors),
+            len(model.functions),
+            status,
+        )
+    )
+    return EXIT_CLEAN if status == "clean" else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+// hot-path-alloc (clean): per-event work over preallocated state — swaps,
+// arithmetic, and in-place updates allocate nothing.
+#include "atum_mini.h"
+
+namespace fx_hp_clean {
+namespace sim {
+
+class Simulator {
+ public:
+  bool step() {
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    ring_[cursor_] += 1;
+    ++cursor_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> ring_ = std::vector<std::uint64_t>(16, 0);
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sim
+}  // namespace fx_hp_clean

@@ -1,0 +1,18 @@
+// hot-path-alloc: make_unique is still a heap allocation, however tidy the
+// ownership — the coalescer flush runs once per outgoing envelope.
+#include "atum_mini.h"
+
+namespace fx_hp_make_unique {
+
+class SendCoalescer {
+ public:
+  void flush() {
+    auto scratch = std::make_unique<std::uint64_t>(1);  // expect: hot-path-alloc
+    sent_ += *scratch;
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace fx_hp_make_unique

@@ -1,0 +1,19 @@
+// hot-path-alloc: naked `new` directly inside the simulator's per-event
+// dispatch entry point.
+#include "atum_mini.h"
+
+namespace fx_hp_new {
+namespace sim {
+
+class Simulator {
+ public:
+  bool step() {
+    auto* scratch = new std::uint64_t(7);  // expect: hot-path-alloc
+    bool odd = (*scratch & 1) != 0;
+    delete scratch;
+    return odd;
+  }
+};
+
+}  // namespace sim
+}  // namespace fx_hp_new

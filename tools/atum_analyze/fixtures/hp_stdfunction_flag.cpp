@@ -1,0 +1,19 @@
+// hot-path-alloc: std::function construction on the per-event path — its
+// small-object buffer spills the delivery closure onto the heap (the exact
+// regression EventFn exists to prevent).
+#include "atum_mini.h"
+
+namespace fx_hp_stdfunction {
+namespace sim {
+
+class Simulator {
+ public:
+  bool step() {
+    std::function<void()> cb = [] {};  // expect: hot-path-alloc
+    cb();
+    return true;
+  }
+};
+
+}  // namespace sim
+}  // namespace fx_hp_stdfunction

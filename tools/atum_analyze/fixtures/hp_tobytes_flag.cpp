@@ -1,0 +1,17 @@
+// hot-path-alloc: Payload::to_bytes() deep-copies the whole frame; on the
+// delivery path that re-introduces the copy Payload slicing exists to avoid.
+#include "atum_mini.h"
+
+namespace fx_hp_tobytes {
+namespace net {
+
+class SimNetwork {
+ public:
+  std::size_t send(const atum::net::Payload& p) {
+    atum::Bytes copy = p.to_bytes();  // expect: hot-path-alloc
+    return copy.size();
+  }
+};
+
+}  // namespace net
+}  // namespace fx_hp_tobytes

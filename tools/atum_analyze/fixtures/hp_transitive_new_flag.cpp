@@ -1,0 +1,22 @@
+// hot-path-alloc: the allocation hides one call below the entry point —
+// the rule walks the real call graph, not the entry body.
+#include "atum_mini.h"
+
+namespace fx_hp_transitive {
+
+std::uint64_t fx21_mix(std::uint64_t v) {
+  auto* tmp = new std::uint64_t(v * 2654435761u);  // expect: hot-path-alloc
+  std::uint64_t out = *tmp;
+  delete tmp;
+  return out;
+}
+
+namespace net {
+
+class SimNetwork {
+ public:
+  std::uint64_t send(std::uint64_t seed) { return fx21_mix(seed); }
+};
+
+}  // namespace net
+}  // namespace fx_hp_transitive

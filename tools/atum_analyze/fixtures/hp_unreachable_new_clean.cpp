@@ -1,0 +1,11 @@
+// hot-path-alloc (clean): allocation in cold control-plane code — nothing
+// on the per-event graph reaches it, so it is sanctioned.
+#include "atum_mini.h"
+
+namespace fx_hp_unreachable {
+
+std::uint64_t* fx25_bootstrap_table() {
+  return new std::uint64_t[1024];
+}
+
+}  // namespace fx_hp_unreachable

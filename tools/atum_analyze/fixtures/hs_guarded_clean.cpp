@@ -1,0 +1,19 @@
+// handler-serde-safety (clean): the decode is dominated by a SerdeError
+// catch — malformed bytes mark the sender faulty instead of unwinding.
+#include "atum_mini.h"
+
+namespace fx_hs_guarded {
+
+struct Handler {
+  std::uint64_t last = 0;
+  void on_message(const atum::net::Message& msg) {
+    try {
+      atum::ByteReader r(msg.payload.data(), msg.payload.size());
+      last = r.u64();
+      r.expect_done();
+    } catch (const atum::SerdeError&) {
+    }
+  }
+};
+
+}  // namespace fx_hs_guarded

@@ -1,0 +1,21 @@
+// handler-serde-safety (clean): the wire-derived count is bound-checked
+// against what the buffer could possibly hold before sizing anything.
+#include "atum_mini.h"
+
+namespace fx_hs_reserve_checked {
+
+struct Handler {
+  std::vector<std::uint64_t> ops;
+  void on_message(const atum::net::Message& msg) {
+    try {
+      atum::ByteReader r(msg.payload.data(), msg.payload.size());
+      std::uint64_t count = r.varint();
+      if (count > r.remaining()) throw atum::SerdeError("count exceeds buffer");
+      ops.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) ops.push_back(r.u64());
+    } catch (const atum::SerdeError&) {
+    }
+  }
+};
+
+}  // namespace fx_hs_reserve_checked

@@ -1,0 +1,22 @@
+// handler-serde-safety (clean): clamping the wire-derived size in place is
+// an acceptable bound — the attacker controls the request, not the cost.
+#include "atum_mini.h"
+
+#include <algorithm>
+
+namespace fx_hs_reserve_clamped {
+
+struct Handler {
+  std::vector<std::uint64_t> ops;
+  void on_message(const atum::net::Message& msg) {
+    try {
+      atum::ByteReader r(msg.payload.data(), msg.payload.size());
+      std::uint64_t count = r.varint();
+      ops.reserve(std::min<std::uint64_t>(count, 1024));
+      for (std::uint64_t i = 0; i < count && i < 1024; ++i) ops.push_back(r.u64());
+    } catch (const atum::SerdeError&) {
+    }
+  }
+};
+
+}  // namespace fx_hs_reserve_clamped

@@ -1,0 +1,21 @@
+// handler-serde-safety: reserve() sized straight from a wire-derived count.
+// A SerdeError catch does not save this — reserve(2^60) throws
+// std::length_error/bad_alloc (the PR 6 Byzantine parsing bug class).
+#include "atum_mini.h"
+
+namespace fx_hs_reserve_unchecked {
+
+struct Handler {
+  std::vector<std::uint64_t> ops;
+  void on_message(const atum::net::Message& msg) {
+    try {
+      atum::ByteReader r(msg.payload.data(), msg.payload.size());
+      std::uint64_t count = r.varint();
+      ops.reserve(count);  // expect: handler-serde-safety
+      for (std::uint64_t i = 0; i < count; ++i) ops.push_back(r.u64());
+    } catch (const atum::SerdeError&) {
+    }
+  }
+};
+
+}  // namespace fx_hs_reserve_unchecked

@@ -1,0 +1,17 @@
+// handler-serde-safety (suppressed): a fixed-width prologue read gated by
+// an explicit size check cannot throw; the annotation records that proof.
+#include "atum_mini.h"
+
+namespace fx_hs_suppressed {
+
+struct Handler {
+  std::uint64_t last = 0;
+  void on_message(const atum::net::Message& msg) {
+    if (msg.payload.size() < 8) return;
+    atum::ByteReader r(msg.payload.data(), msg.payload.size());
+    // lint: handler-serde-safety-ok(reads exactly 8 bytes gated by the size() < 8 early return)
+    last = r.u64();
+  }
+};
+
+}  // namespace fx_hs_suppressed

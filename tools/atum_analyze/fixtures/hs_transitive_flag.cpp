@@ -1,0 +1,17 @@
+// handler-serde-safety: the unguarded decode hides one call level below
+// the handler — the call graph, not the handler body, decides reachability.
+#include "atum_mini.h"
+
+namespace fx_hs_transitive {
+
+std::uint64_t fx11_parse_header(const atum::net::Message& msg) {
+  atum::ByteReader r(msg.payload.data(), msg.payload.size());
+  return r.u64();  // expect: handler-serde-safety
+}
+
+struct Handler {
+  std::uint64_t last = 0;
+  void on_message(const atum::net::Message& msg) { last = fx11_parse_header(msg); }
+};
+
+}  // namespace fx_hs_transitive

@@ -1,0 +1,23 @@
+// handler-serde-safety (clean): the helper's reads are unguarded locally,
+// but every path into it goes through the handler's SerdeError catch, so
+// the throw is contained.
+#include "atum_mini.h"
+
+namespace fx_hs_transitive_guarded {
+
+std::uint64_t fx12_parse_header(const atum::net::Message& msg) {
+  atum::ByteReader r(msg.payload.data(), msg.payload.size());
+  return r.u64();
+}
+
+struct Handler {
+  std::uint64_t last = 0;
+  void on_message(const atum::net::Message& msg) {
+    try {
+      last = fx12_parse_header(msg);
+    } catch (const atum::SerdeError&) {
+    }
+  }
+};
+
+}  // namespace fx_hs_transitive_guarded

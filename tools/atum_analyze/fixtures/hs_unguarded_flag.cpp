@@ -1,0 +1,15 @@
+// handler-serde-safety: a network-facing handler decodes wire bytes with
+// no SerdeError catch anywhere above the read.
+#include "atum_mini.h"
+
+namespace fx_hs_unguarded {
+
+struct Handler {
+  std::uint64_t last = 0;
+  void on_message(const atum::net::Message& msg) {
+    atum::ByteReader r(msg.payload.data(), msg.payload.size());
+    last = r.u64();  // expect: handler-serde-safety
+  }
+};
+
+}  // namespace fx_hs_unguarded

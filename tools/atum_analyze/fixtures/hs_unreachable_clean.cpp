@@ -1,0 +1,13 @@
+// handler-serde-safety (clean): an unguarded decode in a function no
+// network handler reaches — local tooling parsing trusted bytes is out of
+// the rule's blast radius.
+#include "atum_mini.h"
+
+namespace fx_hs_unreachable {
+
+std::uint64_t fx17_parse_trusted(const atum::Bytes& wire) {
+  atum::ByteReader r(wire);
+  return r.u64();
+}
+
+}  // namespace fx_hs_unreachable

@@ -1,0 +1,11 @@
+// payload-escape (clean): the callable captures the Payload itself (a
+// refcounted frame share), not a raw view into it.
+#include "atum_mini.h"
+
+namespace fx_pe_capture_owner {
+
+void later(atum::sim::Simulator& sim, const atum::net::Payload& p) {
+  sim.schedule_after(10, [p] { (void)p.size(); });
+}
+
+}  // namespace fx_pe_capture_owner

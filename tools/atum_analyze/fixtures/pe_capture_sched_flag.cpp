@@ -1,0 +1,12 @@
+// payload-escape: a scheduled callable captures a Payload-derived pointer;
+// the frame may be released before the event fires.
+#include "atum_mini.h"
+
+namespace fx_pe_capture_sched {
+
+void later(atum::sim::Simulator& sim, const atum::net::Payload& p) {
+  const std::uint8_t* head = p.data();
+  sim.schedule_after(10, [head] { (void)head; });  // expect: payload-escape
+}
+
+}  // namespace fx_pe_capture_sched

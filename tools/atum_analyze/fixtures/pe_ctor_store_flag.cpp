@@ -1,0 +1,12 @@
+// payload-escape: constructor member-initializer stores a Payload-derived
+// pointer with no owner alongside (the PR 3 dangling-ByteReader shape).
+#include "atum_mini.h"
+
+namespace fx_pe_ctor_store {
+
+struct View {
+  explicit View(const atum::net::Payload& pl) : p_(pl.data()) {}  // expect: payload-escape
+  const std::uint8_t* p_;
+};
+
+}  // namespace fx_pe_ctor_store

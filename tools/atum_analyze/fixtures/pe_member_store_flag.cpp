@@ -1,0 +1,17 @@
+// payload-escape: storing a Payload-derived raw pointer into a member of a
+// class with no owning Payload/Bytes field dangles once the frame drops.
+#include "atum_mini.h"
+
+namespace fx_pe_member_store {
+
+class Indexer {
+ public:
+  void set(const atum::net::Payload& p) {
+    head_ = p.data();  // expect: payload-escape
+  }
+
+ private:
+  const std::uint8_t* head_ = nullptr;
+};
+
+}  // namespace fx_pe_member_store

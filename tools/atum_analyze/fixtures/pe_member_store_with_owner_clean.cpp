@@ -1,0 +1,19 @@
+// payload-escape (clean): the view member is stored alongside the owning
+// Payload, so the frame outlives the pointer.
+#include "atum_mini.h"
+
+namespace fx_pe_member_owner {
+
+class Cache {
+ public:
+  void set(const atum::net::Payload& p) {
+    owner_ = p;
+    head_ = p.data();
+  }
+
+ private:
+  atum::net::Payload owner_;
+  const std::uint8_t* head_ = nullptr;
+};
+
+}  // namespace fx_pe_member_owner

@@ -1,0 +1,13 @@
+// payload-escape: returning a Payload-derived pointer from a class that
+// does not own the backing frame hands the caller a view with no lifetime.
+#include "atum_mini.h"
+
+namespace fx_pe_return_view {
+
+struct Peeker {
+  const std::uint8_t* grab(const atum::net::Payload& p) {
+    return p.data();  // expect: payload-escape
+  }
+};
+
+}  // namespace fx_pe_return_view

@@ -1,0 +1,15 @@
+// payload-escape (clean): accessor of an owning class — the Payload member
+// keeps the frame alive for as long as the object exists.
+#include "atum_mini.h"
+
+namespace fx_pe_return_owner {
+
+class Holder {
+ public:
+  const std::uint8_t* head() const { return pl_.data(); }
+
+ private:
+  atum::net::Payload pl_;
+};
+
+}  // namespace fx_pe_return_owner

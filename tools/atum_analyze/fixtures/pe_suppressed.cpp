@@ -1,0 +1,18 @@
+// payload-escape (suppressed): the annotation documents why the frame
+// outlives the stored view at this site.
+#include "atum_mini.h"
+
+namespace fx_pe_suppressed {
+
+class Indexer {
+ public:
+  void set(const atum::net::Payload& p) {
+    // lint: payload-escape-ok(caller pins the frame for the whole epoch; indexer is rebuilt on swap)
+    head_ = p.data();
+  }
+
+ private:
+  const std::uint8_t* head_ = nullptr;
+};
+
+}  // namespace fx_pe_suppressed

@@ -1,0 +1,15 @@
+// unordered-iter: range-for straight over an unordered container —
+// iteration order is hash-seed dependent and must not feed reports.
+#include "atum_mini.h"
+
+namespace fx_ui_direct {
+
+std::uint64_t sum_ids(const std::unordered_map<std::uint64_t, std::uint64_t>& m) {
+  std::uint64_t acc = 0;
+  for (const auto& kv : m) {  // expect: unordered-iter
+    acc ^= kv.first * 31 + kv.second;
+  }
+  return acc;
+}
+
+}  // namespace fx_ui_direct

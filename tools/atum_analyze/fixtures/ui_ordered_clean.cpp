@@ -1,0 +1,14 @@
+// unordered-iter (clean): std::map iterates in key order — deterministic
+// by construction.
+#include "atum_mini.h"
+
+namespace fx_ui_ordered {
+
+std::uint64_t first_key(const std::map<std::uint64_t, std::uint64_t>& m) {
+  for (const auto& kv : m) {
+    return kv.first;
+  }
+  return 0;
+}
+
+}  // namespace fx_ui_ordered

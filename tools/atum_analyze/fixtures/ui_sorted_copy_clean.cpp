@@ -1,0 +1,21 @@
+// unordered-iter (clean): materializing an unordered container into a
+// sorted vector before iterating — the regex rule false-positived on this
+// exact shape because "unordered" appears on the source line.
+#include "atum_mini.h"
+
+#include <algorithm>
+
+namespace fx_ui_sorted_copy {
+
+std::vector<std::uint64_t> ordered_ids(const std::unordered_set<std::uint64_t>& live) {
+  std::vector<std::uint64_t> ids(live.begin(), live.end());
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t prev = 0;
+  for (std::uint64_t id : ids) {
+    prev = id;
+  }
+  (void)prev;
+  return ids;
+}
+
+}  // namespace fx_ui_sorted_copy

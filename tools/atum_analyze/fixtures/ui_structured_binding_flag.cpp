@@ -1,0 +1,22 @@
+// unordered-iter: structured bindings through an auto& alias — two layers
+// of sugar the token rule could not see through.
+#include "atum_mini.h"
+
+namespace fx_ui_binding {
+
+class Tracker {
+ public:
+  std::uint64_t tally() {
+    auto& ref = seen_;
+    std::uint64_t acc = 0;
+    for (const auto& [id, count] : ref) {  // expect: unordered-iter
+      acc += id * count;
+    }
+    return acc;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> seen_;
+};
+
+}  // namespace fx_ui_binding

@@ -1,0 +1,16 @@
+// unordered-iter (suppressed): an order-independent fold — the annotation
+// carries the proof obligation.
+#include "atum_mini.h"
+
+namespace fx_ui_suppressed {
+
+std::uint64_t count_live(const std::unordered_set<std::uint64_t>& live) {
+  std::uint64_t n = 0;
+  // lint: unordered-iter-ok(pure count; commutative over any visit order)
+  for (std::uint64_t id : live) {
+    n += (id != 0) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace fx_ui_suppressed

@@ -1,0 +1,17 @@
+// unordered-iter: a typedef hides the container from regex altitude; the
+// canonical type still says unordered_map.
+#include "atum_mini.h"
+
+namespace fx_ui_typedef {
+
+using PeerIndex = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+std::uint64_t fold(const PeerIndex& idx) {
+  std::uint64_t acc = 0;
+  for (const auto& kv : idx) {  // expect: unordered-iter
+    acc += kv.second;
+  }
+  return acc;
+}
+
+}  // namespace fx_ui_typedef

@@ -1,0 +1,117 @@
+"""Fixture-corpus self-test for atum_analyze.
+
+Every fixtures/*.cpp marks its expected findings with `// expect: <rule>`
+on the offending line; clean and suppressed fixtures carry no markers.
+The self-test parses the whole corpus as one model (compile commands are
+generated from the in-tree template) and demands an exact match in both
+directions: every expectation produced, nothing unexpected produced —
+including zero findings inside atum_mini.h itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine  # noqa: E402
+import rules as rules_mod  # noqa: E402
+import suppress  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+TEMPLATE_PATH = os.path.join(FIXTURES_DIR, "compile_commands.json.in")
+DIR_TOKEN = "@FIXTURES@"
+MIN_FIXTURES = 24
+
+
+def fixture_files():
+    return sorted(
+        f for f in os.listdir(FIXTURES_DIR) if f.endswith(".cpp")
+    )
+
+
+def template_json():
+    """The in-tree mini compile_commands, with @FIXTURES@ placeholders."""
+    entries = [
+        {
+            "directory": DIR_TOKEN,
+            "file": "%s/%s" % (DIR_TOKEN, name),
+            "command": "c++ -std=c++20 -I%s -c %s/%s" % (DIR_TOKEN, DIR_TOKEN, name),
+        }
+        for name in fixture_files()
+    ]
+    return json.dumps(entries, indent=2) + "\n"
+
+
+def parse_expectations(path):
+    """Returns {lineno: rule} for one fixture file."""
+    out = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                out[lineno] = m.group(1)
+    return out
+
+
+def run(cindex):
+    files = fixture_files()
+    failures = []
+    if len(files) < MIN_FIXTURES:
+        failures.append(
+            "fixture corpus has %d files; the contract is >= %d"
+            % (len(files), MIN_FIXTURES)
+        )
+
+    expected = set()
+    for name in files:
+        path = os.path.realpath(os.path.join(FIXTURES_DIR, name))
+        for lineno, rule in parse_expectations(path).items():
+            expected.add((path, lineno, rule))
+
+    with tempfile.TemporaryDirectory(prefix="atum_analyze_selftest_") as tmp:
+        cc_path = os.path.join(tmp, "compile_commands.json")
+        with open(TEMPLATE_PATH, encoding="utf-8") as fh:
+            rendered = fh.read().replace(DIR_TOKEN, FIXTURES_DIR)
+        with open(cc_path, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+        commands = engine.load_compile_commands(cc_path)
+        model = engine.build_model(cindex, commands, FIXTURES_DIR)
+
+    for source, message in model.parse_errors:
+        failures.append("fixture failed to parse: %s: %s" % (source, message))
+
+    findings, suppressed = rules_mod.run_rules(model, suppress.Suppressions())
+    actual = {(f.file, f.line, f.rule) for f in findings}
+
+    for path, lineno, rule in sorted(expected - actual):
+        failures.append(
+            "MISSING expected finding %s at %s:%d"
+            % (rule, os.path.basename(path), lineno)
+        )
+    for path, lineno, rule in sorted(actual - expected):
+        failures.append(
+            "UNEXPECTED finding %s at %s:%d" % (rule, os.path.basename(path), lineno)
+        )
+
+    if failures:
+        for failure in failures:
+            print("atum_analyze self-test: %s" % failure)
+        print(
+            "atum_analyze self-test: FAILED (%d fixture(s), %d expected finding(s), "
+            "%d produced, %d suppressed)"
+            % (len(files), len(expected), len(actual), suppressed)
+        )
+        return 1
+
+    print(
+        "atum_analyze self-test: OK (%d fixtures, %d expected findings matched, "
+        "%d suppressed)" % (len(files), len(expected), suppressed)
+    )
+    return 0

@@ -1,0 +1,44 @@
+"""Suppression annotations for atum_analyze.
+
+Reuses the exact grammar of tools/atum_lint.py: a finding on line N is
+suppressed by `// lint: <rule>-ok(<why>)` on line N or line N-1. The `why`
+is mandatory by construction (the regex requires a non-empty parenthesized
+reason), so every suppression in the tree documents why the invariant
+holds at that site.
+"""
+
+from __future__ import annotations
+
+import re
+
+ANNOTATION_RE = re.compile(r"//\s*lint:\s*([a-z-]+)-ok\(([^)]+)\)")
+
+
+class Suppressions:
+    """Lazy per-file index of `// lint: <rule>-ok(<why>)` annotations."""
+
+    def __init__(self) -> None:
+        self._by_file: dict[str, dict[int, list[tuple[str, str]]]] = {}
+
+    def _load(self, path: str) -> dict[int, list[tuple[str, str]]]:
+        cached = self._by_file.get(path)
+        if cached is not None:
+            return cached
+        entries: dict[int, list[tuple[str, str]]] = {}
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                for lineno, line in enumerate(fh, 1):
+                    for m in ANNOTATION_RE.finditer(line):
+                        entries.setdefault(lineno, []).append((m.group(1), m.group(2)))
+        except OSError:
+            pass
+        self._by_file[path] = entries
+        return entries
+
+    def allows(self, path: str, line: int, rule: str) -> bool:
+        entries = self._load(path)
+        for candidate in (line, line - 1):
+            for annotated_rule, _why in entries.get(candidate, ()):
+                if annotated_rule == rule:
+                    return True
+        return False

@@ -21,16 +21,6 @@ full rationale):
                    — the headers behind the tokens above. Sim time is
                    TimeMicros; randomness is atum::Rng.
 
-  unordered-iter   Iterating a std::unordered_{map,set} feeds hash-bucket
-                   order — deterministic on one stdlib, divergent across
-                   them — into whatever consumes the loop (reports, message
-                   ordering, RNG-indexed picks). Every iteration over a
-                   declared unordered container (range-for, std::erase_if)
-                   must either not exist (sort first / use an ordered
-                   container) or carry an explicit audit annotation:
-                       // lint: unordered-iter-ok(<why order cannot leak>)
-                   on the loop line or the line above.
-
   adhoc-counter    New `*_count_` members or `struct FooStats` declarations
                    in the obs-instrumented layers (src/{net,overlay,smr,
                    core,sim,group,apps}). Those layers expose their metrics
@@ -39,25 +29,35 @@ full rationale):
                    that the registry polls via probes carry:
                        // lint: adhoc-counter-ok(<how the registry sees it>)
 
-  std-function     std::function in src/sim/ and src/net/ — the layers
-                   whose per-event/per-message paths must stay
-                   allocation-free (sim::EventFn exists because
-                   std::function's small-object buffer heap-allocated every
-                   delivery closure). Override:
-                       // lint: std-function-ok(<why not hot>)
-
-  naked-new        `new`/`malloc`-family in src/. Ownership goes through
-                   make_unique/make_shared/containers; placement new into
-                   an owned buffer is allowed. Override:
-                       // lint: naked-new-ok(<who owns it>)
-
   reinterpret-cast reinterpret_cast in src/ — strict-aliasing/alignment UB
                    bait; use std::memcpy or std::bit_cast. Byte-type puns
                    that are genuinely aliasing-exempt may be annotated:
                        // lint: reinterpret-cast-ok(<why well-defined>)
 
+Legacy rules (--legacy): unordered-iter, std-function, naked-new started
+here as token matchers and have been superseded by the AST-grounded
+versions in tools/atum_analyze/ (libclang over compile_commands.json —
+canonical types instead of declared-name matching, real call-graph
+reachability instead of directory heuristics). The regex forms stay
+available behind --legacy as the fallback for environments without a
+usable libclang; `atum_analyze --probe` tells CMake which mode to wire in.
+
+  unordered-iter   Iterating a declared std::unordered_{map,set} (range-for,
+                   std::erase_if, .begin()) without
+                       // lint: unordered-iter-ok(<why order cannot leak>)
+
+  std-function     std::function in src/sim/ and src/net/ — the layers
+                   whose per-event/per-message paths must stay
+                   allocation-free. Override:
+                       // lint: std-function-ok(<why not hot>)
+
+  naked-new        `new`/`malloc`-family in src/ (placement new allowed).
+                   Override:
+                       // lint: naked-new-ok(<who owns it>)
+
 Usage:
   atum_lint.py <dir-or-file>...     lint (exit 1 on findings)
+  atum_lint.py --legacy <paths>     also run the superseded regex rules
   atum_lint.py --self-test          run the built-in fixture suite
   atum_lint.py --list-rules         print rule names and exit
 
@@ -235,7 +235,13 @@ MALLOC_RE = re.compile(r"\b(malloc|calloc|realloc|aligned_alloc|free)\s*\(")
 REINTERPRET_RE = re.compile(r"\breinterpret_cast\s*<")
 
 
-def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
+# Rules superseded by the AST-grounded analyzer (tools/atum_analyze/); kept
+# behind --legacy as the no-libclang fallback.
+LEGACY_RULES = frozenset({"unordered-iter", "std-function", "naked-new"})
+
+
+def lint_file(src: SourceFile, unordered_names: set[str],
+              legacy: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     path = src.path
     exempt_rng = bool(RNG_EXEMPT.search(path))
@@ -257,21 +263,22 @@ def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
                     f"<{m.group(1)}> is banned in src/ (sim time is TimeMicros, "
                     f"randomness is atum::Rng)"))
 
-        iter_names = set()
-        for m in ERASE_IF_RE.finditer(line):
-            iter_names.add(m.group(1))
-        for m in RANGE_FOR_RE.finditer(line):
-            iter_names.add(m.group(1))
-        for m in BEGIN_ITER_RE.finditer(line):
-            iter_names.add(m.group(1))
-        for name in iter_names:
-            base = name.split(".")[-1].split(">")[-1]  # x.y_, it->z_ -> last component
-            if base in unordered_names and not src.annotated(lineno, "unordered-iter"):
-                findings.append(Finding(
-                    "unordered-iter", path, lineno,
-                    f"iteration over unordered container '{base}' leaks hash-bucket "
-                    f"order; sort the output, use an ordered container, or annotate "
-                    f"// lint: unordered-iter-ok(reason) after auditing"))
+        if legacy:
+            iter_names = set()
+            for m in ERASE_IF_RE.finditer(line):
+                iter_names.add(m.group(1))
+            for m in RANGE_FOR_RE.finditer(line):
+                iter_names.add(m.group(1))
+            for m in BEGIN_ITER_RE.finditer(line):
+                iter_names.add(m.group(1))
+            for name in iter_names:
+                base = name.split(".")[-1].split(">")[-1]  # x.y_, it->z_ -> last component
+                if base in unordered_names and not src.annotated(lineno, "unordered-iter"):
+                    findings.append(Finding(
+                        "unordered-iter", path, lineno,
+                        f"iteration over unordered container '{base}' leaks hash-bucket "
+                        f"order; sort the output, use an ordered container, or annotate "
+                        f"// lint: unordered-iter-ok(reason) after auditing"))
 
         if instrumented \
                 and (ADHOC_COUNTER_MEMBER_RE.search(line) or ADHOC_STATS_STRUCT_RE.search(line)) \
@@ -283,7 +290,8 @@ def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
                 "uniform metrics surface stays complete, or annotate "
                 "// lint: adhoc-counter-ok(reason)"))
 
-        if hot_layer and STD_FUNCTION_RE.search(line) and not src.annotated(lineno, "std-function"):
+        if legacy and hot_layer and STD_FUNCTION_RE.search(line) \
+                and not src.annotated(lineno, "std-function"):
             findings.append(Finding(
                 "std-function", path, lineno,
                 "std::function in a sim//net/ hot layer (heap-allocates closures; "
@@ -291,7 +299,7 @@ def lint_file(src: SourceFile, unordered_names: set[str]) -> list[Finding]:
                 "this is genuinely off the hot path"))
 
         is_preprocessor = line.lstrip().startswith("#")
-        if not is_preprocessor \
+        if legacy and not is_preprocessor \
                 and (NAKED_NEW_RE.search(line) or MALLOC_RE.search(line)) \
                 and not src.annotated(lineno, "naked-new"):
             findings.append(Finding(
@@ -323,7 +331,7 @@ def collect_unordered_names(sources: list[SourceFile]) -> set[str]:
     return names
 
 
-def lint_paths(paths: list[Path]) -> list[Finding]:
+def lint_paths(paths: list[Path], legacy: bool = False) -> list[Finding]:
     files: list[SourceFile] = []
     for root in paths:
         if root.is_file():
@@ -335,7 +343,7 @@ def lint_paths(paths: list[Path]) -> list[Finding]:
     unordered_names = collect_unordered_names(files)
     findings: list[Finding] = []
     for src in files:
-        findings.extend(lint_file(src, unordered_names))
+        findings.extend(lint_file(src, unordered_names, legacy=legacy))
     return findings
 
 
@@ -444,24 +452,39 @@ FIXTURES = [
 
 
 def self_test() -> int:
+    """Runs every fixture in both modes: legacy-rule fixtures must fire only
+    under --legacy (the default run defers those rules to atum_analyze), all
+    other expectations must hold in both modes."""
     failures = []
     for name, path, code, expected_rule in FIXTURES:
         src = SourceFile(path, code)
         unordered = collect_unordered_names([src])
-        found = lint_file(src, unordered)
-        rules = {f.rule for f in found}
+        default_rules = {f.rule for f in lint_file(src, unordered)}
+        legacy_rules = {f.rule for f in lint_file(src, unordered, legacy=True)}
+        if default_rules & LEGACY_RULES:
+            failures.append(
+                f"{name}: legacy rule(s) {sorted(default_rules & LEGACY_RULES)} "
+                f"fired without --legacy")
         if expected_rule is None:
-            if found:
-                failures.append(f"{name}: expected clean, got {[str(f) for f in found]}")
+            if legacy_rules:
+                failures.append(f"{name}: expected clean, got {sorted(legacy_rules)}")
+        elif expected_rule in LEGACY_RULES:
+            if expected_rule not in legacy_rules:
+                failures.append(
+                    f"{name}: expected a {expected_rule} finding under --legacy, "
+                    f"got {sorted(legacy_rules) or 'none'}")
         else:
-            if expected_rule not in rules:
-                failures.append(f"{name}: expected a {expected_rule} finding, got {rules or 'none'}")
+            for mode, rules in (("default", default_rules), ("--legacy", legacy_rules)):
+                if expected_rule not in rules:
+                    failures.append(
+                        f"{name}: expected a {expected_rule} finding in {mode} mode, "
+                        f"got {sorted(rules) or 'none'}")
     if failures:
         print(f"atum_lint self-test: {len(failures)}/{len(FIXTURES)} fixtures FAILED")
         for f in failures:
             print(f"  {f}")
         return 1
-    print(f"atum_lint self-test: {len(FIXTURES)} fixtures passed")
+    print(f"atum_lint self-test: {len(FIXTURES)} fixtures passed (default + --legacy modes)")
     return 0
 
 
@@ -469,20 +492,25 @@ def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--legacy", action="store_true",
+                    help="also run the regex rules superseded by atum_analyze "
+                         "(unordered-iter, std-function, naked-new); use when "
+                         "no libclang is available")
     ap.add_argument("--self-test", action="store_true", help="run fixture suite")
     ap.add_argument("--list-rules", action="store_true")
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        print("nondeterminism banned-include unordered-iter adhoc-counter "
-              "std-function naked-new reinterpret-cast")
+        print("nondeterminism banned-include adhoc-counter reinterpret-cast")
+        print("legacy (--legacy, superseded by atum_analyze): "
+              "unordered-iter std-function naked-new")
         return 0
     if args.self_test:
         return self_test()
     if not args.paths:
         ap.error("no paths given (or use --self-test)")
 
-    findings = lint_paths([Path(p) for p in args.paths])
+    findings = lint_paths([Path(p) for p in args.paths], legacy=args.legacy)
     for f in findings:
         print(f)
     if findings:
